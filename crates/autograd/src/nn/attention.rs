@@ -1,0 +1,136 @@
+//! Multi-head self-attention (Vaswani et al.), the Transformer-style
+//! attention T3S models its structural branch on. Single-head instances
+//! reduce to the simple dot-product attention used elsewhere.
+
+use super::linear::Linear;
+use super::params::ParamSet;
+use crate::{ops, Tensor};
+use rand::Rng;
+
+/// Masked multi-head self-attention over `[B, m, d]` sequences.
+pub struct MultiHeadSelfAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    dim: usize,
+    head_dim: usize,
+}
+
+impl MultiHeadSelfAttention {
+    pub fn new(
+        params: &mut ParamSet,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        rng: &mut impl Rng,
+    ) -> MultiHeadSelfAttention {
+        assert!(heads >= 1, "MultiHeadSelfAttention: need at least one head");
+        assert!(dim.is_multiple_of(heads), "MultiHeadSelfAttention: dim {dim} not divisible by heads {heads}");
+        let wq = Linear::new(params, &format!("{name}.wq"), dim, dim, rng);
+        let wk = Linear::new(params, &format!("{name}.wk"), dim, dim, rng);
+        let wv = Linear::new(params, &format!("{name}.wv"), dim, dim, rng);
+        let wo = Linear::new(params, &format!("{name}.wo"), dim, dim, rng);
+        MultiHeadSelfAttention { wq, wk, wv, wo, heads, dim, head_dim: dim / heads }
+    }
+
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Apply self-attention with a `[B, m]` key-padding mask; padded
+    /// query rows are zeroed in the output.
+    pub fn forward(&self, x: &Tensor, mask: &Tensor) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 3, "MHA: need [B, m, d], got {s:?}");
+        assert_eq!(s[2], self.dim, "MHA: feature dim mismatch");
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let start = h * self.head_dim;
+            let qh = ops::slice_last(&q, start, self.head_dim);
+            let kh = ops::slice_last(&k, start, self.head_dim);
+            let vh = ops::slice_last(&v, start, self.head_dim);
+            let scores = ops::scale(&ops::bmm_nt(&qh, &kh), scale);
+            let p = ops::masked_softmax(&scores, mask);
+            head_outputs.push(ops::bmm_nn(&p, &vh));
+        }
+        let mut concat = head_outputs[0].clone();
+        for head in &head_outputs[1..] {
+            concat = ops::concat_last(&concat, head);
+        }
+        ops::mul_mask_rows(&self.wo.forward(&concat), mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make(dim: usize, heads: usize) -> (ParamSet, MultiHeadSelfAttention) {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(51);
+        let mha = MultiHeadSelfAttention::new(&mut ps, "mha", dim, heads, &mut rng);
+        (ps, mha)
+    }
+
+    fn ones_mask(b: usize, m: usize) -> Tensor {
+        Tensor::from_vec(vec![1.0; b * m], &[b, m])
+    }
+
+    #[test]
+    fn output_shape_preserved() {
+        let (_, mha) = make(8, 2);
+        let x = Tensor::zeros(&[2, 5, 8]);
+        assert_eq!(mha.forward(&x, &ones_mask(2, 5)).shape(), &[2, 5, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_heads_panics() {
+        let _ = make(8, 3);
+    }
+
+    #[test]
+    fn masked_keys_do_not_influence_output() {
+        // Changing a masked key position's features must not change valid
+        // rows' outputs.
+        let (_, mha) = make(8, 2);
+        let mut data: Vec<f32> = (0..24).map(|i| (i as f32 * 0.31).sin()).collect();
+        let mask = Tensor::from_vec(vec![1.0, 1.0, 0.0], &[1, 3]);
+        let x1 = Tensor::from_vec(data.clone(), &[1, 3, 8]);
+        let y1 = mha.forward(&x1, &mask).to_vec();
+        for v in &mut data[16..] {
+            *v += 9.0; // perturb the masked third point
+        }
+        let x2 = Tensor::from_vec(data, &[1, 3, 8]);
+        let y2 = mha.forward(&x2, &mask).to_vec();
+        assert_eq!(&y1[..16], &y2[..16], "masked key leaked into valid rows");
+    }
+
+    #[test]
+    fn gradients_reach_all_projections() {
+        let (ps, mha) = make(8, 4);
+        let x = Tensor::from_vec((0..32).map(|i| 0.05 * i as f32 - 0.8).collect(), &[1, 4, 8]);
+        let y = mha.forward(&x, &ones_mask(1, 4));
+        crate::ops::sum_all(&crate::ops::sum_last(&y)).backward();
+        for (name, t) in ps.iter() {
+            assert!(t.grad().is_some(), "no grad for {name}");
+        }
+    }
+
+    #[test]
+    fn single_head_is_valid() {
+        let (_, mha) = make(6, 1);
+        let x = Tensor::from_vec((0..18).map(|i| 0.1 * i as f32).collect(), &[1, 3, 6]);
+        let y = mha.forward(&x, &ones_mask(1, 3));
+        assert!(y.to_vec().iter().all(|v| v.is_finite()));
+        assert_eq!(mha.heads(), 1);
+    }
+}

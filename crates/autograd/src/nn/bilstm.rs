@@ -1,0 +1,99 @@
+//! Bidirectional LSTM: a forward and a backward LSTM whose per-step hidden
+//! states are concatenated. Extension knob for the encoders (not used by
+//! the paper's TMN, which is causal; exposed for experimentation — note a
+//! bidirectional backbone changes the sub-trajectory loss semantics, since
+//! prefix representations then see future points).
+
+use super::lstm::Lstm;
+use super::params::ParamSet;
+use super::rnn::Recurrent;
+use crate::{ops, Tensor};
+use rand::Rng;
+
+/// Two LSTMs (forward + reversed), output `[B, m, 2h]`.
+pub struct BiLstm {
+    forward: Lstm,
+    backward: Lstm,
+    input_dim: usize,
+    hidden: usize,
+}
+
+impl BiLstm {
+    /// `hidden` is the size of *each* direction; the output is `2·hidden`.
+    pub fn new(
+        params: &mut ParamSet,
+        name: &str,
+        input_dim: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> BiLstm {
+        let forward = Lstm::new(params, &format!("{name}.fwd"), input_dim, hidden, rng);
+        let backward = Lstm::new(params, &format!("{name}.bwd"), input_dim, hidden, rng);
+        BiLstm { forward, backward, input_dim, hidden }
+    }
+}
+
+impl Recurrent for BiLstm {
+    fn hidden_dim(&self) -> usize {
+        2 * self.hidden
+    }
+
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn forward_seq(&self, xs: &Tensor) -> Tensor {
+        let fwd = self.forward.forward_seq(xs);
+        let bwd = ops::reverse_time(&self.backward.forward_seq(&ops::reverse_time(xs)));
+        ops::concat_last(&fwd, &bwd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make(input: usize, hidden: usize) -> (ParamSet, BiLstm) {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(41);
+        let b = BiLstm::new(&mut ps, "bi", input, hidden, &mut rng);
+        (ps, b)
+    }
+
+    #[test]
+    fn output_is_double_width() {
+        let (_, b) = make(3, 4);
+        let y = b.forward_seq(&Tensor::zeros(&[2, 5, 3]));
+        assert_eq!(y.shape(), &[2, 5, 8]);
+        assert_eq!(b.hidden_dim(), 8);
+    }
+
+    #[test]
+    fn backward_half_sees_the_future() {
+        // Changing the LAST input step must change the FIRST output step's
+        // backward half (columns h..2h) but not its forward half.
+        let (_, b) = make(2, 3);
+        let base: Vec<f32> = (0..12).map(|x| (x as f32 * 0.3).sin()).collect();
+        let mut changed = base.clone();
+        changed[10] += 1.0;
+        let ya = b.forward_seq(&Tensor::from_vec(base, &[1, 6, 2])).to_vec();
+        let yb = b.forward_seq(&Tensor::from_vec(changed, &[1, 6, 2])).to_vec();
+        // Step 0 forward half identical:
+        assert_eq!(&ya[..3], &yb[..3]);
+        // Step 0 backward half differs:
+        assert_ne!(&ya[3..6], &yb[3..6]);
+    }
+
+    #[test]
+    fn gradients_flow_to_both_directions() {
+        let (ps, b) = make(2, 3);
+        let x = Tensor::from_vec((0..12).map(|i| 0.1 * i as f32 - 0.6).collect(), &[2, 3, 2]);
+        crate::ops::sum_all(&b.forward_seq(&x)).backward();
+        for (name, t) in ps.iter() {
+            let g = t.grad().unwrap_or_else(|| panic!("no grad for {name}"));
+            assert!(g.iter().any(|&v| v != 0.0), "zero grad for {name}");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Weight initializers. All take an explicit RNG so experiments are
+//! reproducible from a single seed.
+
+use rand::Rng;
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn uniform_xavier(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Vec<f32> {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    (0..fan_in * fan_out).map(|_| rng.gen_range(-a..a)).collect()
+}
+
+/// All-zeros buffer (biases).
+pub fn zeros_init(n: usize) -> Vec<f32> {
+    vec![0.0; n]
+}
+
+/// Orthogonal init for square recurrent weights via Gram–Schmidt on a random
+/// Gaussian matrix. For non-square `rows x cols` (`rows <= cols`), the rows
+/// are orthonormalized.
+pub fn orthogonal(rng: &mut impl Rng, rows: usize, cols: usize) -> Vec<f32> {
+    assert!(rows <= cols, "orthogonal: rows must be <= cols");
+    // Box-Muller standard normals.
+    let mut normal = || {
+        let u1: f32 = rng.gen_range(1e-7f32..1.0);
+        let u2: f32 = rng.gen_range(0.0f32..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    };
+    let mut m: Vec<Vec<f32>> = (0..rows).map(|_| (0..cols).map(|_| normal()).collect()).collect();
+    for i in 0..rows {
+        for j in 0..i {
+            let dot: f32 = m[i].iter().zip(&m[j]).map(|(a, b)| a * b).sum();
+            let proj: Vec<f32> = m[j].iter().map(|v| v * dot).collect();
+            for (a, p) in m[i].iter_mut().zip(proj) {
+                *a -= p;
+            }
+        }
+        let norm: f32 = m[i].iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
+        for v in &mut m[i] {
+            *v /= norm;
+        }
+    }
+    m.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = uniform_xavier(&mut rng, 10, 20);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert_eq!(w.len(), 200);
+        assert!(w.iter().all(|v| v.abs() <= a));
+    }
+
+    #[test]
+    fn orthogonal_rows_are_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (r, c) = (8, 16);
+        let m = orthogonal(&mut rng, r, c);
+        for i in 0..r {
+            for j in 0..r {
+                let dot: f32 = (0..c).map(|k| m[i * c + k] * m[j * c + k]).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-4, "rows {i},{j}: dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        assert!(zeros_init(5).iter().all(|&v| v == 0.0));
+    }
+}

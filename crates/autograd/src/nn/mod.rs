@@ -1,0 +1,22 @@
+//! Neural-network building blocks on top of the autograd engine: parameter
+//! management, initializers, linear layers, a step-unrolled LSTM, and an MLP.
+
+mod attention;
+mod bilstm;
+mod gru;
+mod init;
+mod linear;
+mod lstm;
+mod mlp;
+mod params;
+mod rnn;
+
+pub use attention::MultiHeadSelfAttention;
+pub use bilstm::BiLstm;
+pub use gru::Gru;
+pub use init::{orthogonal, uniform_xavier, zeros_init};
+pub use linear::Linear;
+pub use lstm::Lstm;
+pub use mlp::Mlp;
+pub use params::ParamSet;
+pub use rnn::{Recurrent, RnnKind};

@@ -1,0 +1,139 @@
+//! Named parameter collections: optimizer target, weight snapshot/restore.
+
+use crate::Tensor;
+
+/// An ordered, named collection of trainable leaf tensors.
+///
+/// Models register every parameter here; optimizers iterate it; snapshots
+/// make weights portable across threads (the `Tensor` graph itself is
+/// `!Send` by design).
+#[derive(Default)]
+pub struct ParamSet {
+    params: Vec<(String, Tensor)>,
+}
+
+impl ParamSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter; returns it for convenient chaining.
+    ///
+    /// Panics on duplicate names or non-leaf tensors.
+    pub fn register(&mut self, name: &str, t: Tensor) -> Tensor {
+        assert!(t.requires_grad() && t.is_leaf(), "{name}: parameters must be trainable leaves");
+        assert!(
+            self.params.iter().all(|(n, _)| n != name),
+            "duplicate parameter name: {name}"
+        );
+        self.params.push((name.to_string(), t.clone()));
+        t
+    }
+
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|(_, t)| t.numel()).sum()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.params.iter().map(|(n, t)| (n.as_str(), t))
+    }
+
+    pub fn tensors(&self) -> impl Iterator<Item = &Tensor> {
+        self.params.iter().map(|(_, t)| t)
+    }
+
+    /// Clear gradients on every parameter.
+    pub fn zero_grad(&self) {
+        for (_, t) in &self.params {
+            t.zero_grad();
+        }
+    }
+
+    /// Global L2 norm of all gradients (0 if none set).
+    pub fn grad_norm(&self) -> f32 {
+        let mut acc = 0.0f32;
+        for (_, t) in &self.params {
+            if let Some(g) = t.grad() {
+                acc += g.iter().map(|v| v * v).sum::<f32>();
+            }
+        }
+        acc.sqrt()
+    }
+
+    /// Copy out all weights as `(name, shape, data)` rows.
+    pub fn snapshot(&self) -> Vec<(String, Vec<usize>, Vec<f32>)> {
+        self.params
+            .iter()
+            .map(|(n, t)| (n.clone(), t.shape().to_vec(), t.to_vec()))
+            .collect()
+    }
+
+    /// Load weights from a snapshot. Names and shapes must match exactly.
+    pub fn restore(&self, snap: &[(String, Vec<usize>, Vec<f32>)]) {
+        assert_eq!(snap.len(), self.params.len(), "snapshot size mismatch");
+        for ((name, t), (sn, ss, sd)) in self.params.iter().zip(snap) {
+            assert_eq!(name, sn, "snapshot parameter order/name mismatch");
+            assert_eq!(t.shape(), &ss[..], "snapshot shape mismatch for {name}");
+            t.data_mut().copy_from_slice(sd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_count() {
+        let mut ps = ParamSet::new();
+        ps.register("w", Tensor::param(vec![0.0; 6], &[2, 3]));
+        ps.register("b", Tensor::param(vec![0.0; 3], &[3]));
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.num_scalars(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_name_panics() {
+        let mut ps = ParamSet::new();
+        ps.register("w", Tensor::param(vec![0.0], &[1]));
+        ps.register("w", Tensor::param(vec![0.0], &[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "trainable leaves")]
+    fn constant_rejected() {
+        let mut ps = ParamSet::new();
+        ps.register("c", Tensor::from_vec(vec![0.0], &[1]));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Tensor::param(vec![1.0, 2.0], &[2]));
+        let snap = ps.snapshot();
+        w.data_mut()[0] = 99.0;
+        ps.restore(&snap);
+        assert_eq!(w.to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn grad_norm_after_backward() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Tensor::param(vec![3.0, 4.0], &[2]));
+        let loss = crate::ops::sum_all(&w);
+        loss.backward();
+        assert!((ps.grad_norm() - 2.0f32.sqrt()).abs() < 1e-6);
+        ps.zero_grad();
+        assert_eq!(ps.grad_norm(), 0.0);
+    }
+}

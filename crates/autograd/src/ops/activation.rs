@@ -1,0 +1,122 @@
+//! Pointwise nonlinearities.
+
+use crate::Tensor;
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`.
+pub fn sigmoid(a: &Tensor) -> Tensor {
+    let data: Vec<f32> = a.data().iter().map(|&x| 1.0 / (1.0 + (-x).exp())).collect();
+    Tensor::from_op(a.shape(), data, vec![a.clone()], Box::new(|ctx| {
+        if ctx.parents[0].requires_grad() {
+            let g: Vec<f32> = ctx
+                .out_grad
+                .iter()
+                .zip(ctx.out_data)
+                .map(|(g, y)| g * y * (1.0 - y))
+                .collect();
+            ctx.parents[0].accumulate_grad(&g);
+        }
+    }))
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(a: &Tensor) -> Tensor {
+    let data: Vec<f32> = a.data().iter().map(|&x| x.tanh()).collect();
+    Tensor::from_op(a.shape(), data, vec![a.clone()], Box::new(|ctx| {
+        if ctx.parents[0].requires_grad() {
+            let g: Vec<f32> = ctx
+                .out_grad
+                .iter()
+                .zip(ctx.out_data)
+                .map(|(g, y)| g * (1.0 - y * y))
+                .collect();
+            ctx.parents[0].accumulate_grad(&g);
+        }
+    }))
+}
+
+/// LeakyReLU with the paper's slope of 0.1 (Eq. 5).
+pub fn leaky_relu(a: &Tensor) -> Tensor {
+    const SLOPE: f32 = 0.1;
+    let data: Vec<f32> = a.data().iter().map(|&x| if x >= 0.0 { x } else { SLOPE * x }).collect();
+    Tensor::from_op(a.shape(), data, vec![a.clone()], Box::new(|ctx| {
+        if ctx.parents[0].requires_grad() {
+            let x = ctx.parents[0].data();
+            let g: Vec<f32> = ctx
+                .out_grad
+                .iter()
+                .zip(x.iter())
+                .map(|(g, &xi)| if xi >= 0.0 { *g } else { SLOPE * g })
+                .collect();
+            ctx.parents[0].accumulate_grad(&g);
+        }
+    }))
+}
+
+/// Elementwise `e^x`.
+pub fn exp(a: &Tensor) -> Tensor {
+    let data: Vec<f32> = a.data().iter().map(|&x| x.exp()).collect();
+    Tensor::from_op(a.shape(), data, vec![a.clone()], Box::new(|ctx| {
+        if ctx.parents[0].requires_grad() {
+            let g: Vec<f32> = ctx.out_grad.iter().zip(ctx.out_data).map(|(g, y)| g * y).collect();
+            ctx.parents[0].accumulate_grad(&g);
+        }
+    }))
+}
+
+/// Elementwise `sqrt(x + eps)`; `eps` keeps the gradient finite at zero
+/// (used for Euclidean distances between nearly identical embeddings).
+pub fn sqrt_eps(a: &Tensor, eps: f32) -> Tensor {
+    let data: Vec<f32> = a.data().iter().map(|&x| (x + eps).sqrt()).collect();
+    Tensor::from_op(a.shape(), data, vec![a.clone()], Box::new(move |ctx| {
+        if ctx.parents[0].requires_grad() {
+            let g: Vec<f32> = ctx
+                .out_grad
+                .iter()
+                .zip(ctx.out_data)
+                .map(|(g, y)| g / (2.0 * y.max(1e-12)))
+                .collect();
+            ctx.parents[0].accumulate_grad(&g);
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::gradcheck::check;
+    use crate::ops::{mul, sum_all};
+
+    fn input() -> Tensor {
+        Tensor::param(vec![-2.0, -0.5, 0.0, 0.3, 1.7, 4.0], &[2, 3])
+    }
+
+    #[test]
+    fn sigmoid_range_and_grad() {
+        let x = input();
+        let y = sigmoid(&x);
+        assert!(y.to_vec().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        check(&[x], |t| sum_all(&mul(&sigmoid(&t[0]), &sigmoid(&t[0]))), 1e-2);
+    }
+
+    #[test]
+    fn tanh_odd_and_grad() {
+        let x = Tensor::from_vec(vec![-1.0, 1.0], &[2]);
+        let y = tanh(&x).to_vec();
+        assert!((y[0] + y[1]).abs() < 1e-6);
+        check(&[input()], |t| sum_all(&tanh(&t[0])), 1e-2);
+    }
+
+    #[test]
+    fn leaky_relu_matches_eq5() {
+        let x = Tensor::from_vec(vec![-10.0, 5.0], &[2]);
+        assert_eq!(leaky_relu(&x).to_vec(), vec![-1.0, 5.0]);
+        check(&[input()], |t| sum_all(&mul(&leaky_relu(&t[0]), &leaky_relu(&t[0]))), 1e-2);
+    }
+
+    #[test]
+    fn exp_and_sqrt_grads() {
+        let x = Tensor::param(vec![0.1, 0.5, 1.0, 2.0], &[4]);
+        check(std::slice::from_ref(&x), |t| sum_all(&exp(&t[0])), 1e-2);
+        check(&[x], |t| sum_all(&sqrt_eps(&t[0], 1e-6)), 1e-2);
+    }
+}

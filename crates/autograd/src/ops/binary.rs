@@ -1,0 +1,229 @@
+//! Elementwise and broadcasting arithmetic.
+
+use super::rows_of;
+use crate::Tensor;
+
+fn assert_same_shape(a: &Tensor, b: &Tensor, op: &str) {
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "{op}: shape mismatch {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
+}
+
+/// Elementwise `a + b` (shapes must match).
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_same_shape(a, b, "add");
+    let data: Vec<f32> = a.data().iter().zip(b.data().iter()).map(|(x, y)| x + y).collect();
+    Tensor::from_op(a.shape(), data, vec![a.clone(), b.clone()], Box::new(|ctx| {
+        if ctx.parents[0].requires_grad() {
+            ctx.parents[0].accumulate_grad(ctx.out_grad);
+        }
+        if ctx.parents[1].requires_grad() {
+            ctx.parents[1].accumulate_grad(ctx.out_grad);
+        }
+    }))
+}
+
+/// Elementwise `a - b` (shapes must match).
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_same_shape(a, b, "sub");
+    let data: Vec<f32> = a.data().iter().zip(b.data().iter()).map(|(x, y)| x - y).collect();
+    Tensor::from_op(a.shape(), data, vec![a.clone(), b.clone()], Box::new(|ctx| {
+        if ctx.parents[0].requires_grad() {
+            ctx.parents[0].accumulate_grad(ctx.out_grad);
+        }
+        if ctx.parents[1].requires_grad() {
+            let neg: Vec<f32> = ctx.out_grad.iter().map(|g| -g).collect();
+            ctx.parents[1].accumulate_grad(&neg);
+        }
+    }))
+}
+
+/// Elementwise `a * b` (shapes must match).
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_same_shape(a, b, "mul");
+    let data: Vec<f32> = a.data().iter().zip(b.data().iter()).map(|(x, y)| x * y).collect();
+    Tensor::from_op(a.shape(), data, vec![a.clone(), b.clone()], Box::new(|ctx| {
+        if ctx.parents[0].requires_grad() {
+            let g: Vec<f32> = ctx
+                .out_grad
+                .iter()
+                .zip(ctx.parents[1].data().iter())
+                .map(|(g, y)| g * y)
+                .collect();
+            ctx.parents[0].accumulate_grad(&g);
+        }
+        if ctx.parents[1].requires_grad() {
+            let g: Vec<f32> = ctx
+                .out_grad
+                .iter()
+                .zip(ctx.parents[0].data().iter())
+                .map(|(g, x)| g * x)
+                .collect();
+            ctx.parents[1].accumulate_grad(&g);
+        }
+    }))
+}
+
+/// Broadcast add of a `[n]` bias over the last dimension of `a` (`[.., n]`).
+pub fn add_bias(a: &Tensor, bias: &Tensor) -> Tensor {
+    let n = *a.shape().last().expect("add_bias: rank >= 1");
+    assert_eq!(bias.shape(), &[n], "add_bias: bias must be [last_dim]");
+    let rows = rows_of(a.shape());
+    let mut data = a.to_vec();
+    {
+        let b = bias.data();
+        for r in 0..rows {
+            for (d, bv) in data[r * n..(r + 1) * n].iter_mut().zip(b.iter()) {
+                *d += bv;
+            }
+        }
+    }
+    Tensor::from_op(a.shape(), data, vec![a.clone(), bias.clone()], Box::new(move |ctx| {
+        if ctx.parents[0].requires_grad() {
+            ctx.parents[0].accumulate_grad(ctx.out_grad);
+        }
+        if ctx.parents[1].requires_grad() {
+            let mut g = vec![0.0f32; n];
+            for chunk in ctx.out_grad.chunks_exact(n) {
+                for (gi, c) in g.iter_mut().zip(chunk) {
+                    *gi += c;
+                }
+            }
+            ctx.parents[1].accumulate_grad(&g);
+        }
+    }))
+}
+
+/// `a * c` for a scalar constant `c`.
+pub fn scale(a: &Tensor, c: f32) -> Tensor {
+    let data: Vec<f32> = a.data().iter().map(|x| x * c).collect();
+    Tensor::from_op(a.shape(), data, vec![a.clone()], Box::new(move |ctx| {
+        if ctx.parents[0].requires_grad() {
+            let g: Vec<f32> = ctx.out_grad.iter().map(|g| g * c).collect();
+            ctx.parents[0].accumulate_grad(&g);
+        }
+    }))
+}
+
+/// `a + c` for a scalar constant `c`.
+pub fn add_scalar(a: &Tensor, c: f32) -> Tensor {
+    let data: Vec<f32> = a.data().iter().map(|x| x + c).collect();
+    Tensor::from_op(a.shape(), data, vec![a.clone()], Box::new(|ctx| {
+        if ctx.parents[0].requires_grad() {
+            ctx.parents[0].accumulate_grad(ctx.out_grad);
+        }
+    }))
+}
+
+/// `-a`.
+pub fn neg(a: &Tensor) -> Tensor {
+    scale(a, -1.0)
+}
+
+/// Zero out rows of a `[B, m, d]` (or `[B, m]`) tensor where `mask` (`[B, m]`)
+/// is zero. `mask` is treated as a constant.
+///
+/// This mirrors the paper's masking of padded points after the softmax and
+/// before the discrepancy subtraction (Section IV-B).
+pub fn mul_mask_rows(a: &Tensor, mask: &Tensor) -> Tensor {
+    let (b, m) = (mask.shape()[0], mask.shape()[1]);
+    assert!(mask.shape().len() == 2, "mul_mask_rows: mask must be [B, m]");
+    assert!(
+        a.shape().len() >= 2 && a.shape()[0] == b && a.shape()[1] == m,
+        "mul_mask_rows: tensor {:?} incompatible with mask [{b}, {m}]",
+        a.shape()
+    );
+    let inner: usize = a.shape()[2..].iter().product::<usize>().max(1);
+    let mut data = a.to_vec();
+    let mvals = mask.to_vec();
+    for (row, &mv) in mvals.iter().enumerate() {
+        if mv == 0.0 {
+            for d in &mut data[row * inner..(row + 1) * inner] {
+                *d = 0.0;
+            }
+        }
+    }
+    Tensor::from_op(a.shape(), data, vec![a.clone()], Box::new(move |ctx| {
+        if ctx.parents[0].requires_grad() {
+            let mut g = ctx.out_grad.to_vec();
+            for (row, &mv) in mvals.iter().enumerate() {
+                if mv == 0.0 {
+                    for d in &mut g[row * inner..(row + 1) * inner] {
+                        *d = 0.0;
+                    }
+                }
+            }
+            ctx.parents[0].accumulate_grad(&g);
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::gradcheck::check;
+    use crate::ops::{sum_all, sum_last};
+
+    #[test]
+    fn add_forward() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        assert_eq!(add(&a, &b).to_vec(), vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn sub_forward() {
+        let a = Tensor::from_vec(vec![5.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![1.0, 7.0], &[2]);
+        assert_eq!(sub(&a, &b).to_vec(), vec![4.0, -5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        let _ = add(&a, &b);
+    }
+
+    #[test]
+    fn binary_grads() {
+        let a = Tensor::param(vec![1.0, -2.0, 0.5, 3.0], &[2, 2]);
+        let b = Tensor::param(vec![0.3, 1.5, -1.0, 2.0], &[2, 2]);
+        check(&[a.clone(), b.clone()], |t| sum_all(&mul(&add(&t[0], &t[1]), &sub(&t[0], &t[1]))), 1e-2);
+    }
+
+    #[test]
+    fn add_bias_broadcasts_and_grads() {
+        let a = Tensor::param(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::param(vec![10.0, 20.0, 30.0], &[3]);
+        let y = add_bias(&a, &b);
+        assert_eq!(y.to_vec(), vec![11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        check(&[a, b], |t| sum_all(&mul(&add_bias(&t[0], &t[1]), &add_bias(&t[0], &t[1]))), 1e-2);
+    }
+
+    #[test]
+    fn scale_and_add_scalar() {
+        let a = Tensor::param(vec![1.0, -1.0], &[2]);
+        let y = add_scalar(&scale(&a, 3.0), 1.0);
+        assert_eq!(y.to_vec(), vec![4.0, -2.0]);
+        check(&[a], |t| sum_all(&mul(&scale(&t[0], 3.0), &t[0])), 1e-2);
+    }
+
+    #[test]
+    fn mask_rows_zeroes_padded_rows() {
+        // [B=1, m=3, d=2], mask the last time step.
+        let a = Tensor::param(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[1, 3, 2]);
+        let mask = Tensor::from_vec(vec![1.0, 1.0, 0.0], &[1, 3]);
+        let y = mul_mask_rows(&a, &mask);
+        assert_eq!(y.to_vec(), vec![1.0, 2.0, 3.0, 4.0, 0.0, 0.0]);
+        // Gradient flows only through unmasked rows.
+        let loss = sum_all(&sum_last(&y));
+        loss.backward();
+        assert_eq!(a.grad().unwrap(), vec![1.0, 1.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+}

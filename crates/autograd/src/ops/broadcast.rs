@@ -1,0 +1,110 @@
+//! Row slicing/tiling and scalar-tensor gating (used by T3S's positional
+//! embedding and learned branch combination).
+
+use crate::Tensor;
+
+/// First `len` rows of a rank-2 tensor: `[n, d] -> [len, d]`.
+pub fn slice_rows(a: &Tensor, len: usize) -> Tensor {
+    let s = a.shape();
+    assert_eq!(s.len(), 2, "slice_rows: need rank 2, got {s:?}");
+    let (n, d) = (s[0], s[1]);
+    assert!(len <= n, "slice_rows: len {len} exceeds rows {n}");
+    let data = a.data()[..len * d].to_vec();
+    Tensor::from_op(&[len, d], data, vec![a.clone()], Box::new(move |ctx| {
+        if ctx.parents[0].requires_grad() {
+            let mut g = vec![0.0f32; n * d];
+            g[..len * d].copy_from_slice(ctx.out_grad);
+            ctx.parents[0].accumulate_grad(&g);
+        }
+    }))
+}
+
+/// Tile a `[m, d]` tensor across a new leading batch axis: `-> [b, m, d]`.
+/// Backward sums gradients over the batch copies.
+pub fn tile_rows(a: &Tensor, b: usize) -> Tensor {
+    let s = a.shape();
+    assert_eq!(s.len(), 2, "tile_rows: need rank 2, got {s:?}");
+    let (m, d) = (s[0], s[1]);
+    let src = a.to_vec();
+    let mut data = Vec::with_capacity(b * m * d);
+    for _ in 0..b {
+        data.extend_from_slice(&src);
+    }
+    Tensor::from_op(&[b, m, d], data, vec![a.clone()], Box::new(move |ctx| {
+        if ctx.parents[0].requires_grad() {
+            let mut g = vec![0.0f32; m * d];
+            for chunk in ctx.out_grad.chunks_exact(m * d) {
+                for (gi, c) in g.iter_mut().zip(chunk) {
+                    *gi += c;
+                }
+            }
+            ctx.parents[0].accumulate_grad(&g);
+        }
+    }))
+}
+
+/// Multiply a tensor by a learnable `[1]` scalar: `out = a * s`.
+pub fn mul_scalar_tensor(a: &Tensor, s: &Tensor) -> Tensor {
+    assert_eq!(s.shape(), &[1], "mul_scalar_tensor: scalar must be [1]");
+    let sv = s.item();
+    let data: Vec<f32> = a.data().iter().map(|x| x * sv).collect();
+    Tensor::from_op(a.shape(), data, vec![a.clone(), s.clone()], Box::new(move |ctx| {
+        if ctx.parents[0].requires_grad() {
+            let g: Vec<f32> = ctx.out_grad.iter().map(|g| g * sv).collect();
+            ctx.parents[0].accumulate_grad(&g);
+        }
+        if ctx.parents[1].requires_grad() {
+            let a_data = ctx.parents[0].data();
+            let ds: f32 = ctx.out_grad.iter().zip(a_data.iter()).map(|(g, x)| g * x).sum();
+            ctx.parents[1].accumulate_grad(&[ds]);
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::gradcheck::check;
+    use crate::ops::{mul, sum_all};
+
+    #[test]
+    fn slice_rows_values() {
+        let a = Tensor::from_vec((0..8).map(|x| x as f32).collect(), &[4, 2]);
+        let y = slice_rows(&a, 2);
+        assert_eq!(y.shape(), &[2, 2]);
+        assert_eq!(y.to_vec(), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn tile_rows_copies_batch() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        let y = tile_rows(&a, 3);
+        assert_eq!(y.shape(), &[3, 1, 2]);
+        assert_eq!(y.to_vec(), vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn scalar_gate_forward() {
+        let a = Tensor::from_vec(vec![2.0, 4.0], &[2]);
+        let s = Tensor::from_vec(vec![0.5], &[1]);
+        assert_eq!(mul_scalar_tensor(&a, &s).to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn broadcast_grads() {
+        let a = Tensor::param((0..8).map(|x| 0.1 * x as f32 - 0.4).collect(), &[4, 2]);
+        check(std::slice::from_ref(&a), |t| {
+            let s = slice_rows(&t[0], 3);
+            sum_all(&mul(&s, &s))
+        }, 1e-2);
+        check(std::slice::from_ref(&a), |t| {
+            let y = tile_rows(&t[0], 2);
+            sum_all(&mul(&y, &y))
+        }, 1e-2);
+        let s = Tensor::param(vec![0.7], &[1]);
+        check(&[a, s], |t| {
+            let y = mul_scalar_tensor(&t[0], &t[1]);
+            sum_all(&mul(&y, &y))
+        }, 1e-2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Reductions and regression-loss primitives.
+
+use super::rows_of;
+use crate::Tensor;
+
+/// Sum of all elements, producing a `[1]` scalar.
+pub fn sum_all(a: &Tensor) -> Tensor {
+    let s: f32 = a.data().iter().sum();
+    let numel = a.numel();
+    Tensor::from_op(&[1], vec![s], vec![a.clone()], Box::new(move |ctx| {
+        if ctx.parents[0].requires_grad() {
+            ctx.parents[0].accumulate_grad(&vec![ctx.out_grad[0]; numel]);
+        }
+    }))
+}
+
+/// Mean of all elements, producing a `[1]` scalar.
+pub fn mean_all(a: &Tensor) -> Tensor {
+    let n = a.numel() as f32;
+    super::scale(&sum_all(a), 1.0 / n)
+}
+
+/// Sum over the last dimension: `[.., n] -> [..]` (rank-1 input yields `[1]`).
+pub fn sum_last(a: &Tensor) -> Tensor {
+    let n = *a.shape().last().expect("sum_last: rank >= 1");
+    let rows = rows_of(a.shape());
+    let data: Vec<f32> = a.data().chunks_exact(n).map(|c| c.iter().sum()).collect();
+    let out_shape: Vec<usize> = if a.shape().len() == 1 {
+        vec![1]
+    } else {
+        a.shape()[..a.shape().len() - 1].to_vec()
+    };
+    Tensor::from_op(&out_shape, data, vec![a.clone()], Box::new(move |ctx| {
+        if ctx.parents[0].requires_grad() {
+            let mut g = vec![0.0f32; rows * n];
+            for r in 0..rows {
+                let gr = ctx.out_grad[r];
+                for v in &mut g[r * n..(r + 1) * n] {
+                    *v = gr;
+                }
+            }
+            ctx.parents[0].accumulate_grad(&g);
+        }
+    }))
+}
+
+/// Elementwise q-error between a prediction and a constant target:
+/// `max(p, t) / min(p, t)`, both clamped to `eps` (Moerkotte et al., the loss
+/// compared against MSE in the paper's Fig. 3 ablation).
+///
+/// The gradient flows to `pred` only; `target` is treated as a constant.
+pub fn qerror(pred: &Tensor, target: &Tensor, eps: f32) -> Tensor {
+    assert_eq!(pred.shape(), target.shape(), "qerror: shape mismatch");
+    let t: Vec<f32> = target.data().iter().map(|&x| x.max(eps)).collect();
+    let data: Vec<f32> = pred
+        .data()
+        .iter()
+        .zip(&t)
+        .map(|(&p, &tv)| {
+            let p = p.max(eps);
+            if p > tv {
+                p / tv
+            } else {
+                tv / p
+            }
+        })
+        .collect();
+    Tensor::from_op(pred.shape(), data, vec![pred.clone()], Box::new(move |ctx| {
+        if ctx.parents[0].requires_grad() {
+            let p = ctx.parents[0].data();
+            let g: Vec<f32> = ctx
+                .out_grad
+                .iter()
+                .zip(p.iter())
+                .zip(&t)
+                .map(|((&g, &pv), &tv)| {
+                    let pv = pv.max(eps);
+                    if pv > tv {
+                        g / tv
+                    } else {
+                        -g * tv / (pv * pv)
+                    }
+                })
+                .collect();
+            ctx.parents[0].accumulate_grad(&g);
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::gradcheck::check;
+    use crate::ops::mul;
+    use crate::Tensor;
+
+    #[test]
+    fn sum_all_scalar() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        assert_eq!(sum_all(&a).item(), 6.0);
+    }
+
+    #[test]
+    fn mean_all_scalar() {
+        let a = Tensor::from_vec(vec![2.0, 4.0], &[2]);
+        assert_eq!(mean_all(&a).item(), 3.0);
+    }
+
+    #[test]
+    fn sum_last_reduces_one_axis() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let y = sum_last(&a);
+        assert_eq!(y.shape(), &[2]);
+        assert_eq!(y.to_vec(), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn sum_last_rank3() {
+        let a = Tensor::from_vec((1..=8).map(|x| x as f32).collect(), &[2, 2, 2]);
+        let y = sum_last(&a);
+        assert_eq!(y.shape(), &[2, 2]);
+        assert_eq!(y.to_vec(), vec![3.0, 7.0, 11.0, 15.0]);
+    }
+
+    #[test]
+    fn sum_grads() {
+        let a = Tensor::param(vec![0.5, -1.0, 2.0, 0.3], &[2, 2]);
+        check(std::slice::from_ref(&a), |t| sum_all(&mul(&t[0], &t[0])), 1e-2);
+        check(&[a], |t| sum_all(&mul(&sum_last(&t[0]), &sum_last(&t[0]))), 1e-2);
+    }
+
+    #[test]
+    fn qerror_symmetric_ratio() {
+        let p = Tensor::from_vec(vec![2.0, 0.5], &[2]);
+        let t = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        let y = qerror(&p, &t, 1e-6).to_vec();
+        assert!((y[0] - 2.0).abs() < 1e-6);
+        assert!((y[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn qerror_is_one_at_equality() {
+        let p = Tensor::from_vec(vec![0.7], &[1]);
+        let t = Tensor::from_vec(vec![0.7], &[1]);
+        assert!((qerror(&p, &t, 1e-6).item() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn qerror_grads_away_from_kink() {
+        let p = Tensor::param(vec![2.0, 0.4], &[2]);
+        let t = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        check(&[p], |x| sum_all(&qerror(&x[0], &t, 1e-6)), 1e-2);
+    }
+}

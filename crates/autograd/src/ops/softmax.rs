@@ -1,0 +1,169 @@
+//! Row-wise softmax, with and without a key-padding mask.
+
+use super::rows_of;
+use crate::Tensor;
+
+fn softmax_row(row: &mut [f32], valid: impl Fn(usize) -> bool) {
+    let mut max = f32::NEG_INFINITY;
+    for (j, v) in row.iter().enumerate() {
+        if valid(j) && *v > max {
+            max = *v;
+        }
+    }
+    if max == f32::NEG_INFINITY {
+        // Fully masked row: emit zeros (the paper covers padded results with
+        // zeros after the softmax as well).
+        row.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    let mut sum = 0.0f32;
+    for (j, v) in row.iter_mut().enumerate() {
+        if valid(j) {
+            *v = (*v - max).exp();
+            sum += *v;
+        } else {
+            *v = 0.0;
+        }
+    }
+    if sum > 0.0 {
+        row.iter_mut().for_each(|v| *v /= sum);
+    }
+}
+
+fn softmax_backward_row(y: &[f32], g: &[f32], out: &mut [f32]) {
+    let dot: f32 = y.iter().zip(g).map(|(yi, gi)| yi * gi).sum();
+    for ((o, &yi), &gi) in out.iter_mut().zip(y).zip(g) {
+        *o += yi * (gi - dot);
+    }
+}
+
+/// Softmax over the last dimension of `a` (`[.., n]`).
+pub fn softmax(a: &Tensor) -> Tensor {
+    let n = *a.shape().last().expect("softmax: rank >= 1");
+    let rows = rows_of(a.shape());
+    let mut data = a.to_vec();
+    for r in 0..rows {
+        softmax_row(&mut data[r * n..(r + 1) * n], |_| true);
+    }
+    Tensor::from_op(a.shape(), data, vec![a.clone()], Box::new(move |ctx| {
+        if ctx.parents[0].requires_grad() {
+            let mut g = vec![0.0f32; ctx.out_grad.len()];
+            for r in 0..rows {
+                softmax_backward_row(
+                    &ctx.out_data[r * n..(r + 1) * n],
+                    &ctx.out_grad[r * n..(r + 1) * n],
+                    &mut g[r * n..(r + 1) * n],
+                );
+            }
+            ctx.parents[0].accumulate_grad(&g);
+        }
+    }))
+}
+
+/// Masked softmax for cross-trajectory attention (Eq. 7–8).
+///
+/// `scores` is `[B, q, k]`; `key_mask` is a constant `[B, k]` tensor with 1.0
+/// on valid key positions and 0.0 on padding. Masked positions get
+/// probability exactly 0; fully masked rows become all-zero.
+pub fn masked_softmax(scores: &Tensor, key_mask: &Tensor) -> Tensor {
+    let s = scores.shape();
+    assert_eq!(s.len(), 3, "masked_softmax: scores must be [B, q, k], got {s:?}");
+    let (bs, q, k) = (s[0], s[1], s[2]);
+    assert_eq!(
+        key_mask.shape(),
+        &[bs, k],
+        "masked_softmax: key_mask must be [B, k] = [{bs}, {k}]"
+    );
+    let mask = key_mask.to_vec();
+    let mut data = scores.to_vec();
+    for b in 0..bs {
+        let mrow = &mask[b * k..(b + 1) * k];
+        for i in 0..q {
+            let off = (b * q + i) * k;
+            softmax_row(&mut data[off..off + k], |j| mrow[j] != 0.0);
+        }
+    }
+    Tensor::from_op(scores.shape(), data, vec![scores.clone()], Box::new(move |ctx| {
+        if ctx.parents[0].requires_grad() {
+            let mut g = vec![0.0f32; ctx.out_grad.len()];
+            for b in 0..bs {
+                for i in 0..q {
+                    let off = (b * q + i) * k;
+                    // Masked entries have y = 0, so the standard Jacobian
+                    // already yields zero gradient there.
+                    softmax_backward_row(
+                        &ctx.out_data[off..off + k],
+                        &ctx.out_grad[off..off + k],
+                        &mut g[off..off + k],
+                    );
+                }
+            }
+            ctx.parents[0].accumulate_grad(&g);
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::gradcheck::check;
+    use crate::ops::{mul, sum_all};
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let y = softmax(&a).to_vec();
+        for r in 0..2 {
+            let s: f32 = y[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Monotone: larger logits get larger probabilities.
+        assert!(y[2] > y[1] && y[1] > y[0]);
+    }
+
+    #[test]
+    fn softmax_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let b = Tensor::from_vec(vec![101.0, 102.0, 103.0], &[1, 3]);
+        let (ya, yb) = (softmax(&a).to_vec(), softmax(&b).to_vec());
+        for (x, y) in ya.iter().zip(&yb) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn masked_softmax_zeroes_padding() {
+        let scores = Tensor::from_vec(vec![1.0, 5.0, 2.0, 0.5, 9.0, 0.1], &[1, 2, 3]);
+        let mask = Tensor::from_vec(vec![1.0, 0.0, 1.0], &[1, 3]);
+        let y = masked_softmax(&scores, &mask).to_vec();
+        // Key 1 is masked in every query row.
+        assert_eq!(y[1], 0.0);
+        assert_eq!(y[4], 0.0);
+        let s0: f32 = y[..3].iter().sum();
+        let s1: f32 = y[3..].iter().sum();
+        assert!((s0 - 1.0).abs() < 1e-6 && (s1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn masked_softmax_fully_masked_row_is_zero() {
+        let scores = Tensor::from_vec(vec![1.0, 2.0], &[1, 1, 2]);
+        let mask = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]);
+        let y = masked_softmax(&scores, &mask).to_vec();
+        assert_eq!(y, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_grads() {
+        let a = Tensor::param(vec![0.5, -1.0, 2.0, 0.3, 0.0, -0.7], &[2, 3]);
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.5, 1.5], &[2, 3]);
+        check(&[a], |t| sum_all(&mul(&softmax(&t[0]), &w)), 1e-2);
+    }
+
+    #[test]
+    fn masked_softmax_grads() {
+        let a = Tensor::param(vec![0.5, -1.0, 2.0, 0.3, 0.0, -0.7], &[1, 2, 3]);
+        let mask = Tensor::from_vec(vec![1.0, 1.0, 0.0], &[1, 3]);
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.5, 1.5], &[1, 2, 3]);
+        check(&[a], |t| sum_all(&mul(&masked_softmax(&t[0], &mask), &w)), 1e-2);
+    }
+}

@@ -1,0 +1,172 @@
+//! First-order optimizers operating on a [`crate::nn::ParamSet`].
+
+use crate::nn::ParamSet;
+use crate::Tensor;
+
+/// Clip gradients to a maximum global L2 norm; returns the pre-clip norm.
+pub fn clip_grad_norm(params: &ParamSet, max_norm: f32) -> f32 {
+    let norm = params.grad_norm();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for t in params.tensors() {
+            if let Some(g) = t.grad() {
+                let scaled: Vec<f32> = g.iter().map(|v| v * scale).collect();
+                t.zero_grad();
+                t.accumulate_grad(&scaled);
+            }
+        }
+    }
+    norm
+}
+
+/// Plain SGD with optional momentum.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    pub fn new(params: &ParamSet, lr: f32, momentum: f32) -> Sgd {
+        let velocity = params.tensors().map(|t| vec![0.0; t.numel()]).collect();
+        Sgd { lr, momentum, velocity }
+    }
+
+    pub fn step(&mut self, params: &ParamSet) {
+        for (t, v) in params.tensors().zip(&mut self.velocity) {
+            let Some(g) = t.grad() else { continue };
+            let mut data = t.data_mut();
+            for i in 0..data.len() {
+                v[i] = self.momentum * v[i] + g[i];
+                data[i] -= self.lr * v[i];
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba), the optimizer the paper uses (Section V-A4).
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Default betas (0.9, 0.999) and eps 1e-8.
+    pub fn new(params: &ParamSet, lr: f32) -> Adam {
+        Adam::with_config(params, lr, 0.9, 0.999, 1e-8)
+    }
+
+    pub fn with_config(params: &ParamSet, lr: f32, beta1: f32, beta2: f32, eps: f32) -> Adam {
+        let m = params.tensors().map(|t| vec![0.0; t.numel()]).collect();
+        let v = params.tensors().map(|t| vec![0.0; t.numel()]).collect();
+        Adam { lr, beta1, beta2, eps, t: 0, m, v }
+    }
+
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Apply one update; parameters without gradients are skipped.
+    pub fn step(&mut self, params: &ParamSet) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((tensor, m), v) in params.tensors().zip(&mut self.m).zip(&mut self.v) {
+            let Some(g) = tensor.grad() else { continue };
+            let mut data = tensor.data_mut();
+            for i in 0..data.len() {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Zero-grad + backward + clip + step in one call; returns (loss, grad norm).
+pub fn train_step(params: &ParamSet, optimizer: &mut Adam, loss: &Tensor, clip: f32) -> (f32, f32) {
+    params.zero_grad();
+    loss.backward();
+    let norm = clip_grad_norm(params, clip);
+    optimizer.step(params);
+    (loss.item(), norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ops, Tensor};
+
+    fn quadratic_setup() -> (ParamSet, Tensor) {
+        let mut ps = ParamSet::new();
+        let x = ps.register("x", Tensor::param(vec![5.0, -3.0], &[2]));
+        (ps, x)
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let (ps, x) = quadratic_setup();
+        let mut opt = Adam::new(&ps, 0.1);
+        for _ in 0..300 {
+            let loss = ops::sum_all(&ops::mul(&x, &x));
+            ps.zero_grad();
+            loss.backward();
+            opt.step(&ps);
+        }
+        assert!(x.to_vec().iter().all(|v| v.abs() < 1e-2), "x = {:?}", x.to_vec());
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let (ps, x) = quadratic_setup();
+        let mut opt = Sgd::new(&ps, 0.1, 0.9);
+        for _ in 0..200 {
+            let loss = ops::sum_all(&ops::mul(&x, &x));
+            ps.zero_grad();
+            loss.backward();
+            opt.step(&ps);
+        }
+        assert!(x.to_vec().iter().all(|v| v.abs() < 1e-2));
+    }
+
+    #[test]
+    fn clip_limits_norm() {
+        let (ps, x) = quadratic_setup();
+        let loss = ops::sum_all(&ops::mul(&x, &x));
+        loss.backward();
+        // grad = 2x = [10, -6]; norm = sqrt(136) ≈ 11.66
+        let pre = clip_grad_norm(&ps, 1.0);
+        assert!((pre - 136.0f32.sqrt()).abs() < 1e-3);
+        assert!((ps.grad_norm() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clip_noop_when_below_threshold() {
+        let (ps, x) = quadratic_setup();
+        ops::sum_all(&ops::mul(&x, &x)).backward();
+        let before = ps.grad_norm();
+        clip_grad_norm(&ps, 1e9);
+        assert_eq!(ps.grad_norm(), before);
+    }
+
+    #[test]
+    fn train_step_reports_loss() {
+        let (ps, x) = quadratic_setup();
+        let mut opt = Adam::new(&ps, 0.05);
+        let loss = ops::sum_all(&ops::mul(&x, &x));
+        let (l, n) = train_step(&ps, &mut opt, &loss, 100.0);
+        assert!((l - 34.0).abs() < 1e-4);
+        assert!(n > 0.0);
+    }
+}

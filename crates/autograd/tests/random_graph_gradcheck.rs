@@ -1,0 +1,123 @@
+//! Property test: reverse-mode gradients on randomly composed op graphs
+//! agree with central finite differences.
+
+use proptest::prelude::*;
+use tmn_autograd::{ops, Tensor};
+
+/// A pool of unary op choices applied during graph construction.
+#[derive(Debug, Clone, Copy)]
+enum Unary {
+    Tanh,
+    Sigmoid,
+    LeakyRelu,
+    Scale,
+    Softmax,
+}
+
+/// Binary combination choices.
+#[derive(Debug, Clone, Copy)]
+enum Binary {
+    Add,
+    Sub,
+    Mul,
+    Matmul,
+}
+
+fn apply_unary(op: Unary, x: &Tensor) -> Tensor {
+    match op {
+        Unary::Tanh => ops::tanh(x),
+        Unary::Sigmoid => ops::sigmoid(x),
+        Unary::LeakyRelu => ops::leaky_relu(x),
+        Unary::Scale => ops::scale(x, 0.7),
+        Unary::Softmax => ops::softmax(x),
+    }
+}
+
+fn apply_binary(op: Binary, a: &Tensor, b: &Tensor) -> Tensor {
+    match op {
+        Binary::Add => ops::add(a, b),
+        Binary::Sub => ops::sub(a, b),
+        Binary::Mul => ops::mul(a, b),
+        Binary::Matmul => ops::matmul(a, b), // both are [n, n]
+    }
+}
+
+fn arb_unary() -> impl Strategy<Value = Unary> {
+    prop_oneof![
+        Just(Unary::Tanh),
+        Just(Unary::Sigmoid),
+        Just(Unary::LeakyRelu),
+        Just(Unary::Scale),
+        Just(Unary::Softmax),
+    ]
+}
+
+fn arb_binary() -> impl Strategy<Value = Binary> {
+    prop_oneof![Just(Binary::Add), Just(Binary::Sub), Just(Binary::Mul), Just(Binary::Matmul)]
+}
+
+/// Build a random graph over two square-matrix leaves and return its scalar
+/// output.
+fn build(unaries: &[Unary], binaries: &[Binary], leaves: &[Tensor]) -> Tensor {
+    let mut a = leaves[0].clone();
+    let mut b = leaves[1].clone();
+    for (i, &u) in unaries.iter().enumerate() {
+        if i % 2 == 0 {
+            a = apply_unary(u, &a);
+        } else {
+            b = apply_unary(u, &b);
+        }
+    }
+    let mut out = a;
+    for &op in binaries {
+        out = apply_binary(op, &out, &b);
+    }
+    ops::sum_all(&out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_graphs_pass_gradcheck(
+        vals_a in prop::collection::vec(-1.5f32..1.5, 9),
+        vals_b in prop::collection::vec(-1.5f32..1.5, 9),
+        unaries in prop::collection::vec(arb_unary(), 0..4),
+        binaries in prop::collection::vec(arb_binary(), 1..4),
+    ) {
+        let a = Tensor::param(vals_a, &[3, 3]);
+        let b = Tensor::param(vals_b, &[3, 3]);
+        let leaves = [a, b];
+
+        // Analytic gradients.
+        let loss = build(&unaries, &binaries, &leaves);
+        for l in &leaves {
+            l.zero_grad();
+        }
+        loss.backward();
+        let analytic: Vec<Vec<f32>> =
+            leaves.iter().map(|l| l.grad().unwrap_or_else(|| vec![0.0; 9])).collect();
+
+        // Central differences (skip points near the LeakyReLU kink).
+        let eps = 1e-2f32;
+        for (ti, t) in leaves.iter().enumerate() {
+            for (j, &got) in analytic[ti].iter().enumerate() {
+                let orig = t.data()[j];
+                if unaries.iter().any(|u| matches!(u, Unary::LeakyRelu)) && orig.abs() < 5.0 * eps {
+                    continue;
+                }
+                t.data_mut()[j] = orig + eps;
+                let up = build(&unaries, &binaries, &leaves).item();
+                t.data_mut()[j] = orig - eps;
+                let down = build(&unaries, &binaries, &leaves).item();
+                t.data_mut()[j] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                let denom = numeric.abs().max(got.abs()).max(1.0);
+                prop_assert!(
+                    (numeric - got).abs() / denom < 0.05,
+                    "leaf {ti} elem {j}: numeric {numeric} vs analytic {got} (ops {unaries:?} {binaries:?})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion microbench: ground-truth distance-matrix construction, serial
+//! vs multi-threaded (the dominant preprocessing cost of training).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tmn::prelude::*;
+
+fn random_trajs(n: usize, len: usize, seed: u64) -> Vec<Trajectory> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (0..len)
+                .map(|_| Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let trajs = random_trajs(60, 40, 3);
+    let params = MetricParams::default();
+    let mut group = c.benchmark_group("distance_matrix_60x40pts");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("dtw", threads),
+            &threads,
+            |bencher, &threads| {
+                bencher.iter(|| DistanceMatrix::compute(&trajs, Metric::Dtw, &params, threads))
+            },
+        );
+    }
+    for metric in [Metric::Hausdorff, Metric::Frechet, Metric::Erp] {
+        group.bench_with_input(
+            BenchmarkId::new(metric.name(), 2),
+            &metric,
+            |bencher, &metric| {
+                bencher.iter(|| DistanceMatrix::compute(&trajs, metric, &params, 2))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matrix);
+criterion_main!(benches);

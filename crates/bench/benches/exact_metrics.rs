@@ -1,0 +1,75 @@
+//! Criterion microbench: cost of the exact distance metrics vs trajectory
+//! length. Backs the paper's premise that exact computation is O(n²) and
+//! motivates the learned approximation (Section I, Table III).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tmn::prelude::*;
+
+fn random_traj(rng: &mut StdRng, len: usize) -> Trajectory {
+    (0..len)
+        .map(|_| Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect()
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let params = MetricParams { eps: 0.1, ..Default::default() };
+    let mut group = c.benchmark_group("exact_metric_distance");
+    for len in [32usize, 64, 128] {
+        let a = random_traj(&mut rng, len);
+        let b = random_traj(&mut rng, len);
+        for metric in Metric::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(metric.name(), len),
+                &(&a, &b),
+                |bencher, (a, b)| bencher.iter(|| metric.distance(a, b, &params)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_matching_extraction(c: &mut Criterion) {
+    // Distance + warping-path extraction (Figure 1) vs distance only.
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = random_traj(&mut rng, 64);
+    let b = random_traj(&mut rng, 64);
+    let mut group = c.benchmark_group("dtw_matching_overhead");
+    group.bench_function("distance_only", |bencher| {
+        bencher.iter(|| tmn::traj::metrics::dtw(&a, &b))
+    });
+    group.bench_function("with_matching", |bencher| {
+        bencher.iter(|| tmn::traj::metrics::dtw_matching(&a, &b))
+    });
+    group.finish();
+}
+
+fn bench_prefix_distances(c: &mut Criterion) {
+    // All prefixes in one DP pass (sub-trajectory loss supervision) vs
+    // recomputing each prefix naively.
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = random_traj(&mut rng, 60);
+    let b = random_traj(&mut rng, 60);
+    let params = MetricParams::default();
+    let mut group = c.benchmark_group("prefix_distances_dtw");
+    group.bench_function("single_pass", |bencher| {
+        bencher.iter(|| prefix_distances(Metric::Dtw, &a, &b, 10, &params))
+    });
+    group.bench_function("naive_recompute", |bencher| {
+        bencher.iter(|| {
+            (1..=6)
+                .map(|k| Metric::Dtw.distance(&a.prefix(10 * k), &b.prefix(10 * k), &params))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_metrics, bench_matching_extraction, bench_prefix_distances
+}
+criterion_main!(benches);

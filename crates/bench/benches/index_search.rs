@@ -1,0 +1,73 @@
+//! Criterion microbench: HNSW vs brute-force k-NN over trajectory
+//! embeddings — the indexing speed-up the paper names as an immediate
+//! benefit of embedding trajectories (Section I).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tmn::prelude::*;
+
+fn random_embeddings(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+}
+
+fn brute_knn(db: &[Vec<f32>], q: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..db.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let da: f32 = q.iter().zip(&db[a]).map(|(x, y)| (x - y) * (x - y)).sum();
+        let db_: f32 = q.iter().zip(&db[b]).map(|(x, y)| (x - y) * (x - y)).sum();
+        da.partial_cmp(&db_).unwrap()
+    });
+    idx.truncate(k);
+    idx
+}
+
+fn bench_knn(c: &mut Criterion) {
+    const DIM: usize = 32;
+    let mut group = c.benchmark_group("embedding_knn_top10");
+    for n in [1_000usize, 5_000] {
+        let db = random_embeddings(n, DIM, 7);
+        let query = db[0].clone();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut hnsw = Hnsw::new(DIM, HnswConfig::default());
+        for v in &db {
+            hnsw.insert(v, &mut rng);
+        }
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &db, |bencher, db| {
+            bencher.iter(|| brute_knn(db, &query, 10))
+        });
+        group.bench_with_input(BenchmarkId::new("hnsw", n), &hnsw, |bencher, hnsw| {
+            bencher.iter(|| hnsw.knn(&query, 10))
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    const DIM: usize = 32;
+    let db = random_embeddings(2_000, DIM, 9);
+    let mut group = c.benchmark_group("index_build_2k");
+    group.sample_size(10);
+    group.bench_function("hnsw", |bencher| {
+        bencher.iter(|| {
+            let mut rng = StdRng::seed_from_u64(10);
+            let mut h = Hnsw::new(DIM, HnswConfig::default());
+            for v in &db {
+                h.insert(v, &mut rng);
+            }
+            h.len()
+        })
+    });
+    group.bench_function("kdtree", |bencher| {
+        bencher.iter(|| KdTree::build(db.clone()).len())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_knn, bench_build
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion microbench: forward-pass throughput of every model, and the
+//! overhead the matching mechanism adds over TMN-NM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmn::prelude::*;
+use tmn_autograd::no_grad;
+
+fn traj(seed: usize, len: usize) -> Trajectory {
+    (0..len)
+        .map(|i| {
+            Point::new(
+                ((seed * 131 + i * 17) % 101) as f64 / 101.0,
+                ((seed * 37 + i * 11) % 103) as f64 / 103.0,
+            )
+        })
+        .collect()
+}
+
+fn make_batch(pairs: usize, len: usize) -> (Vec<Trajectory>, Vec<Trajectory>) {
+    let a: Vec<Trajectory> = (0..pairs).map(|i| traj(i, len)).collect();
+    let b: Vec<Trajectory> = (0..pairs).map(|i| traj(i + 1000, len)).collect();
+    (a, b)
+}
+
+fn bench_model_encode(c: &mut Criterion) {
+    let (a, b) = make_batch(16, 48);
+    let ar: Vec<&Trajectory> = a.iter().collect();
+    let br: Vec<&Trajectory> = b.iter().collect();
+    let batch = tmn::core::PairBatch::build(&ar, &br);
+    let cfg = ModelConfig { dim: 32, seed: 1 };
+    let mut group = c.benchmark_group("model_encode_16x48");
+    for kind in ModelKind::ALL {
+        let model = kind.build(&cfg);
+        group.bench_function(kind.name(), |bencher| {
+            bencher.iter(|| no_grad(|| model.encode_pairs(&batch)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching_overhead_vs_length(c: &mut Criterion) {
+    // The matching mechanism is O(m²·d̂); TMN-NM is O(m·d̂). This ablation
+    // bench quantifies the gap the paper's Table III hints at.
+    let cfg = ModelConfig { dim: 32, seed: 2 };
+    let tmn = ModelKind::Tmn.build(&cfg);
+    let nm = ModelKind::TmnNm.build(&cfg);
+    let mut group = c.benchmark_group("matching_overhead");
+    for len in [24usize, 48, 96] {
+        let (a, b) = make_batch(8, len);
+        let ar: Vec<&Trajectory> = a.iter().collect();
+        let br: Vec<&Trajectory> = b.iter().collect();
+        let batch = tmn::core::PairBatch::build(&ar, &br);
+        group.bench_with_input(BenchmarkId::new("TMN", len), &batch, |bencher, batch| {
+            bencher.iter(|| no_grad(|| tmn.encode_pairs(batch)))
+        });
+        group.bench_with_input(BenchmarkId::new("TMN-NM", len), &batch, |bencher, batch| {
+            bencher.iter(|| no_grad(|| nm.encode_pairs(batch)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_model_encode, bench_matching_overhead_vs_length
+}
+criterion_main!(benches);

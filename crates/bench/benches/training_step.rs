@@ -1,0 +1,50 @@
+//! Criterion microbench: one full gradient step (forward + backward + Adam)
+//! per model — the building block behind Table III's training column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tmn::prelude::*;
+use tmn_autograd::optim::{train_step, Adam};
+use tmn_core::pair_loss;
+
+fn traj(seed: usize, len: usize) -> Trajectory {
+    (0..len)
+        .map(|i| {
+            Point::new(
+                ((seed * 131 + i * 17) % 101) as f64 / 101.0,
+                ((seed * 37 + i * 11) % 103) as f64 / 103.0,
+            )
+        })
+        .collect()
+}
+
+fn bench_step(c: &mut Criterion) {
+    let pairs = 16usize;
+    let a: Vec<Trajectory> = (0..pairs).map(|i| traj(i, 40)).collect();
+    let b: Vec<Trajectory> = (0..pairs).map(|i| traj(i + 500, 40)).collect();
+    let ar: Vec<&Trajectory> = a.iter().collect();
+    let br: Vec<&Trajectory> = b.iter().collect();
+    let batch = tmn::core::PairBatch::build(&ar, &br);
+    let targets = PairTargets {
+        sim: (0..pairs).map(|i| 0.5 + 0.4 * ((i % 2) as f32)).collect(),
+        weight: vec![1.0 / pairs as f32; pairs],
+        sub: vec![vec![(10, 0.6), (20, 0.55), (30, 0.5)]; pairs],
+    };
+    let cfg = ModelConfig { dim: 32, seed: 4 };
+    let mut group = c.benchmark_group("gradient_step_16x40");
+    group.sample_size(10);
+    for kind in ModelKind::ALL {
+        let model = kind.build(&cfg);
+        let mut opt = Adam::new(model.params(), 1e-3);
+        group.bench_function(kind.name(), |bencher| {
+            bencher.iter(|| {
+                let enc = model.encode_pairs(&batch);
+                let loss = pair_loss(&enc, &batch, &targets, LossKind::Mse);
+                train_step(model.params(), &mut opt, &loss, 5.0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Extension ablation (beyond the paper): swap TMN's LSTM backbone (Eq. 12)
+//! for a GRU under identical budgets. The paper's Section II-B names GRU as
+//! the other gated RNN; this quantifies how much the backbone choice
+//! matters relative to the matching mechanism.
+//!
+//! Usage: `cargo run -p tmn-bench --release --bin ablation_rnn [--quick|--full]`
+
+use std::time::Instant;
+use tmn::prelude::*;
+use tmn::autograd::nn::RnnKind;
+use tmn::core::Tmn;
+use tmn_bench::{write_json, Ctx, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut ctx = Ctx::new();
+    let ds = ctx.dataset(DatasetKind::PortoLike, scale.dataset_size(), 42);
+    let params = MetricParams::default();
+    let metric = Metric::Dtw;
+    let dmat = ds.train_distance_matrix(metric, &params, 2);
+    let test_dmat = ds.test_distance_matrix(metric, &params, 2);
+    let queries: Vec<usize> = (0..scale.queries().min(ds.test.len())).collect();
+    let truth: Vec<Vec<f64>> = queries.iter().map(|&q| test_dmat.row(q).to_vec()).collect();
+
+    eprintln!("RNN-backbone ablation — scale {}", scale.name());
+    let mut table = Table::new(&["Backbone", "Matching", "HR-10", "HR-50", "R10@50", "Train s/epoch"]);
+    let mut results = Vec::new();
+    for rnn in [RnnKind::Lstm, RnnKind::Gru] {
+        for matching in [true, false] {
+            let model = Tmn::with_rnn(&ModelConfig { dim: scale.dim(), seed: 42 }, matching, rnn);
+            let cfg = TrainConfig { epochs: scale.epochs(), ..Default::default() };
+            let mut trainer = Trainer::new(
+                &model, &ds.train, &dmat, metric, params, Box::new(RankSampler), cfg, None,
+            );
+            let t0 = Instant::now();
+            let stats = trainer.train();
+            let train_s = t0.elapsed().as_secs_f64() / stats.epochs.len().max(1) as f64;
+            let pred = predicted_distance_rows(&model, &ds.test, &queries, 64);
+            let eval = evaluate(&pred, &truth, &queries);
+            eprintln!("  {} matching={}: HR-10 {:.4}", rnn.name(), matching, eval.hr10);
+            table.row(&[
+                rnn.name().into(),
+                if matching { "yes" } else { "no" }.into(),
+                format!("{:.4}", eval.hr10),
+                format!("{:.4}", eval.hr50),
+                format!("{:.4}", eval.r10_50),
+                format!("{train_s:.2}"),
+            ]);
+            results.push((rnn.name().to_string(), matching, eval));
+        }
+    }
+    println!();
+    table.print();
+    write_json("ablation_rnn", &results).expect("write results");
+}

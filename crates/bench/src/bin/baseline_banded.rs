@@ -1,0 +1,78 @@
+//! Extension experiment: the *non-learning* approximation route the paper's
+//! introduction contrasts with (category (1): approximation algorithms for a
+//! single metric). Sakoe–Chiba banded DTW trades accuracy for speed; this
+//! binary measures its top-k search quality and runtime against exact DTW
+//! and against trained TMN — reproducing the paper's argument that learned
+//! embeddings offer a better accuracy/speed trade-off.
+//!
+//! Usage: `cargo run -p tmn-bench --release --bin baseline_banded [--quick|--full]`
+
+use std::time::Instant;
+use tmn::prelude::*;
+use tmn::traj::metrics::dtw_banded;
+use tmn_bench::{write_json, Ctx, RunSpec, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut ctx = Ctx::new();
+    let ds = ctx.dataset(DatasetKind::PortoLike, scale.dataset_size(), 42);
+    let params = MetricParams::default();
+    let test_dmat = ds.test_distance_matrix(Metric::Dtw, &params, 2);
+    let queries: Vec<usize> = (0..scale.queries().min(ds.test.len())).collect();
+    let truth: Vec<Vec<f64>> = queries.iter().map(|&q| test_dmat.row(q).to_vec()).collect();
+
+    eprintln!("Banded-DTW baseline vs learned — scale {}", scale.name());
+    let mut table = Table::new(&["Method", "HR-10", "HR-50", "R10@50", "Query time (s)"]);
+    let mut results = Vec::new();
+
+    for band in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let pred: Vec<Vec<f64>> = queries
+            .iter()
+            .map(|&q| ds.test.iter().map(|t| dtw_banded(&ds.test[q], t, band)).collect())
+            .collect();
+        let secs = t0.elapsed().as_secs_f64();
+        let eval = evaluate(&pred, &truth, &queries);
+        eprintln!("  band {band}: HR-10 {:.4} in {secs:.2}s", eval.hr10);
+        table.row(&[
+            format!("banded DTW (w={band})"),
+            format!("{:.4}", eval.hr10),
+            format!("{:.4}", eval.hr50),
+            format!("{:.4}", eval.r10_50),
+            format!("{secs:.3}"),
+        ]);
+        results.push((format!("band{band}"), eval, secs));
+    }
+
+    // Exact DTW for reference (HR is 1 by definition; only time matters).
+    let t0 = Instant::now();
+    for &q in &queries {
+        for t in ds.test.iter() {
+            std::hint::black_box(Metric::Dtw.distance(&ds.test[q], t, &params));
+        }
+    }
+    let exact_secs = t0.elapsed().as_secs_f64();
+    table.row(&[
+        "exact DTW".into(),
+        "1.0000".into(),
+        "1.0000".into(),
+        "1.0000".into(),
+        format!("{exact_secs:.3}"),
+    ]);
+
+    // Trained TMN for the learned side of the trade-off.
+    let spec = RunSpec::standard(DatasetKind::PortoLike, Metric::Dtw, ModelKind::Tmn, scale);
+    let r = ctx.run(&spec);
+    table.row(&[
+        "TMN (learned)".into(),
+        format!("{:.4}", r.eval.hr10),
+        format!("{:.4}", r.eval.hr50),
+        format!("{:.4}", r.eval.r10_50),
+        format!("{:.3}", r.eval_seconds),
+    ]);
+    results.push(("tmn".into(), r.eval, r.eval_seconds));
+
+    println!();
+    table.print();
+    write_json("baseline_banded", &results).expect("write results");
+}

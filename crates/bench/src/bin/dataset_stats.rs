@@ -1,0 +1,39 @@
+//! Print summary statistics of the synthetic datasets — the evidence for
+//! DESIGN.md's substitution argument (length distribution, spatial extent,
+//! smoothness contrast between free movement and road-constrained trips).
+//!
+//! Usage: `cargo run -p tmn-bench --release --bin dataset_stats [--quick|--full]`
+
+use tmn::data::{dataset_stats, length_histogram};
+use tmn::prelude::*;
+use tmn_bench::{write_json, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut out = Vec::new();
+    let mut table = Table::new(&[
+        "Dataset", "Count", "Len min/p50/max", "Step mean", "Turn mean (rad)", "BBox",
+    ]);
+    for kind in [DatasetKind::GeolifeLike, DatasetKind::PortoLike] {
+        let ds = Dataset::generate(&DatasetConfig::new(kind, scale.dataset_size(), 42));
+        let all: Vec<Trajectory> = ds.train.iter().chain(&ds.test).cloned().collect();
+        let s = dataset_stats(&all);
+        let hist = length_histogram(&all, 8, s.len_max);
+        println!("{} length histogram (8 bins to {}): {hist:?}", kind.name(), s.len_max);
+        table.row(&[
+            kind.name().into(),
+            s.count.to_string(),
+            format!("{}/{}/{}", s.len_min, s.len_p50, s.len_max),
+            format!("{:.5}", s.step_mean),
+            format!("{:.3}", s.turn_mean),
+            format!(
+                "({:.2},{:.2})..({:.2},{:.2})",
+                s.bbox.0 .0, s.bbox.0 .1, s.bbox.1 .0, s.bbox.1 .1
+            ),
+        ]);
+        out.push((kind.name().to_string(), s));
+    }
+    println!();
+    table.print();
+    write_json("dataset_stats", &out).expect("write results");
+}

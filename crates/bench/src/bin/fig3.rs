@@ -1,0 +1,39 @@
+//! Figure 3 — loss-function ablation: TMN trained with MSE vs Q-error
+//! under Fréchet, DTW, Hausdorff and LCSS on the Porto-like dataset.
+//!
+//! Usage: `cargo run -p tmn-bench --release --bin fig3 [--quick|--full]`
+
+use tmn::prelude::*;
+use tmn_bench::{write_json, Ctx, RunResult, RunSpec, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut ctx = Ctx::new();
+    let mut results: Vec<RunResult> = Vec::new();
+
+    eprintln!("Figure 3 reproduction — scale {}", scale.name());
+    let mut table = Table::new(&["Metric", "Loss", "HR-10", "HR-50", "R10@50"]);
+    for metric in [Metric::Frechet, Metric::Dtw, Metric::Hausdorff, Metric::Lcss] {
+        for loss in [LossKind::Mse, LossKind::QError] {
+            let mut spec = RunSpec::standard(DatasetKind::PortoLike, metric, ModelKind::Tmn, scale);
+            spec.train.loss = loss;
+            let r = ctx.run(&spec);
+            let loss_name = match loss {
+                LossKind::Mse => "MSE",
+                LossKind::QError => "Q-error",
+            };
+            eprintln!("  {metric} / {loss_name}: HR-10 {:.4}", r.eval.hr10);
+            table.row(&[
+                metric.name().into(),
+                loss_name.into(),
+                format!("{:.4}", r.eval.hr10),
+                format!("{:.4}", r.eval.hr50),
+                format!("{:.4}", r.eval.r10_50),
+            ]);
+            results.push(r);
+        }
+    }
+    println!();
+    table.print();
+    write_json("fig3", &results).expect("write results");
+}

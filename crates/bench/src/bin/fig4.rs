@@ -1,0 +1,57 @@
+//! Figure 4 — parameter sensitivity of TMN to the hidden dimension `d` and
+//! the learning rate `lr` (DTW on the Porto-like dataset).
+//!
+//! Usage: `cargo run -p tmn-bench --release --bin fig4 [--quick|--full]`
+
+use tmn::prelude::*;
+use tmn_bench::{write_json, Ctx, RunResult, RunSpec, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut ctx = Ctx::new();
+    let mut results: Vec<(String, String, RunResult)> = Vec::new();
+
+    // Paper sweeps d in 16..256 and lr in 1e-4..1e-2; scaled for CPU.
+    let dims: Vec<usize> = match scale {
+        Scale::Quick => vec![8, 16, 32],
+        Scale::Default => vec![8, 16, 32, 64],
+        Scale::Full => vec![16, 32, 64, 128],
+    };
+    let lrs: Vec<f32> = vec![1e-4, 5e-4, 1e-3, 5e-3, 1e-2];
+
+    eprintln!("Figure 4 reproduction — scale {}", scale.name());
+    let mut dim_table = Table::new(&["d", "HR-10", "HR-50", "R10@50"]);
+    for d in dims {
+        let mut spec = RunSpec::standard(DatasetKind::PortoLike, Metric::Dtw, ModelKind::Tmn, scale);
+        spec.dim = d;
+        let r = ctx.run(&spec);
+        eprintln!("  d={d}: HR-10 {:.4}", r.eval.hr10);
+        dim_table.row(&[
+            d.to_string(),
+            format!("{:.4}", r.eval.hr10),
+            format!("{:.4}", r.eval.hr50),
+            format!("{:.4}", r.eval.r10_50),
+        ]);
+        results.push(("dim".into(), d.to_string(), r));
+    }
+    println!("\nSensitivity to dimension d (DTW, Porto):");
+    dim_table.print();
+
+    let mut lr_table = Table::new(&["lr", "HR-10", "HR-50", "R10@50"]);
+    for lr in lrs {
+        let mut spec = RunSpec::standard(DatasetKind::PortoLike, Metric::Dtw, ModelKind::Tmn, scale);
+        spec.train.lr = lr;
+        let r = ctx.run(&spec);
+        eprintln!("  lr={lr}: HR-10 {:.4}", r.eval.hr10);
+        lr_table.row(&[
+            format!("{lr:.0e}"),
+            format!("{:.4}", r.eval.hr10),
+            format!("{:.4}", r.eval.hr50),
+            format!("{:.4}", r.eval.r10_50),
+        ]);
+        results.push(("lr".into(), format!("{lr}"), r));
+    }
+    println!("\nSensitivity to learning rate (DTW, Porto):");
+    lr_table.print();
+    write_json("fig4", &results).expect("write results");
+}

@@ -1,0 +1,60 @@
+//! Figure 5 — sensitivity of TMN to the sampling number `sn` (DTW, Porto)
+//! and the effect of the sub-trajectory loss (LCSS and Hausdorff, Porto).
+//!
+//! Usage: `cargo run -p tmn-bench --release --bin fig5 [--quick|--full]`
+
+use tmn::prelude::*;
+use tmn_bench::{write_json, Ctx, RunResult, RunSpec, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut ctx = Ctx::new();
+    let mut results: Vec<(String, String, RunResult)> = Vec::new();
+
+    // Paper sweeps sn from 10 to 50 (half near, half far).
+    let sns: Vec<usize> = match scale {
+        Scale::Quick => vec![10, 20, 30],
+        _ => vec![10, 20, 30, 40, 50],
+    };
+
+    eprintln!("Figure 5 reproduction — scale {}", scale.name());
+    let mut sn_table = Table::new(&["sn", "HR-10", "HR-50", "R10@50"]);
+    for sn in sns {
+        let mut spec = RunSpec::standard(DatasetKind::PortoLike, Metric::Dtw, ModelKind::Tmn, scale);
+        spec.train.sampling_number = sn;
+        let r = ctx.run(&spec);
+        eprintln!("  sn={sn}: HR-10 {:.4}", r.eval.hr10);
+        sn_table.row(&[
+            sn.to_string(),
+            format!("{:.4}", r.eval.hr10),
+            format!("{:.4}", r.eval.hr50),
+            format!("{:.4}", r.eval.r10_50),
+        ]);
+        results.push(("sn".into(), sn.to_string(), r));
+    }
+    println!("\nSensitivity to sampling number sn (DTW, Porto):");
+    sn_table.print();
+
+    // Sub-trajectory-loss ablation under LCSS and Hausdorff.
+    let mut sub_table = Table::new(&["Metric", "Variant", "HR-10", "HR-50", "R10@50"]);
+    for metric in [Metric::Lcss, Metric::Hausdorff] {
+        for with_sub in [true, false] {
+            let mut spec = RunSpec::standard(DatasetKind::PortoLike, metric, ModelKind::Tmn, scale);
+            spec.train.use_sub_loss = with_sub;
+            let r = ctx.run(&spec);
+            let variant = if with_sub { "TMN" } else { "noSub" };
+            eprintln!("  {metric} / {variant}: HR-10 {:.4}", r.eval.hr10);
+            sub_table.row(&[
+                metric.name().into(),
+                variant.into(),
+                format!("{:.4}", r.eval.hr10),
+                format!("{:.4}", r.eval.hr50),
+                format!("{:.4}", r.eval.r10_50),
+            ]);
+            results.push(("sub".into(), format!("{metric}-{variant}"), r));
+        }
+    }
+    println!("\nSub-trajectory-loss ablation (Porto):");
+    sub_table.print();
+    write_json("fig5", &results).expect("write results");
+}

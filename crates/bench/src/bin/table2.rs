@@ -1,0 +1,76 @@
+//! Table II — effectiveness of all six models under all six distance
+//! metrics on both datasets (HR-10 / HR-50 / R10@50).
+//!
+//! Usage: `cargo run -p tmn-bench --release --bin table2 [--quick|--full]`
+//! Optional filters: `--metric dtw` `--dataset porto` `--model tmn`.
+
+use tmn::prelude::*;
+use tmn_bench::{write_json, Ctx, RunResult, RunSpec, Scale, Table};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let metric_filter: Option<Metric> = arg_value("--metric").map(|m| m.parse().expect("bad metric"));
+    let dataset_filter = arg_value("--dataset").map(|d| d.to_lowercase());
+    let model_filter = arg_value("--model").map(|m| m.to_lowercase());
+
+    let datasets = [DatasetKind::GeolifeLike, DatasetKind::PortoLike];
+    let models = ModelKind::ALL;
+    let metrics = Metric::ALL;
+
+    let mut ctx = Ctx::new();
+    let mut results: Vec<RunResult> = Vec::new();
+
+    eprintln!(
+        "Table II reproduction — scale {} ({} trajectories/dataset, {} epochs, d={})",
+        scale.name(),
+        scale.dataset_size(),
+        scale.epochs(),
+        scale.dim()
+    );
+
+    for dataset in datasets {
+        if let Some(f) = &dataset_filter {
+            if !dataset.name().to_lowercase().contains(f) {
+                continue;
+            }
+        }
+        for metric in metrics {
+            if let Some(mf) = metric_filter {
+                if mf != metric {
+                    continue;
+                }
+            }
+            let mut table = Table::new(&["Dataset", "Metric", "Method", "HR-10", "HR-50", "R10@50"]);
+            for model in models {
+                if let Some(f) = &model_filter {
+                    if !model.name().to_lowercase().contains(f) {
+                        continue;
+                    }
+                }
+                let spec = RunSpec::standard(dataset, metric, model, scale);
+                let r = ctx.run(&spec);
+                eprintln!(
+                    "  {} / {} / {}: HR-10 {:.4} (train {:.1}s/epoch, eval {:.1}s)",
+                    r.dataset, r.metric, r.model, r.eval.hr10, r.train_seconds_per_epoch, r.eval_seconds
+                );
+                table.row(&[
+                    r.dataset.clone(),
+                    r.metric.clone(),
+                    r.model.clone(),
+                    format!("{:.4}", r.eval.hr10),
+                    format!("{:.4}", r.eval.hr50),
+                    format!("{:.4}", r.eval.r10_50),
+                ]);
+                results.push(r);
+            }
+            println!();
+            table.print();
+        }
+    }
+    write_json("table2", &results).expect("write results");
+}

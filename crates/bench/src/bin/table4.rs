@@ -1,0 +1,52 @@
+//! Table IV — sampling-method ablation: TMN (random-rank sampling) vs
+//! TMN-kd (Traj2SimVec's k-d-tree sampling) on the Porto-like dataset under
+//! all six metrics.
+//!
+//! Usage: `cargo run -p tmn-bench --release --bin table4 [--quick|--full]`
+
+use tmn::prelude::*;
+use tmn_bench::{write_json, Ctx, RunResult, RunSpec, SamplerKind, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut ctx = Ctx::new();
+    let mut results: Vec<RunResult> = Vec::new();
+
+    eprintln!("Table IV reproduction — scale {}", scale.name());
+    let mut table = Table::new(&["Metric", "Evaluation", "TMN", "TMN-kd"]);
+    for metric in Metric::ALL {
+        let mut rank_spec = RunSpec::standard(DatasetKind::PortoLike, metric, ModelKind::Tmn, scale);
+        rank_spec.sampler = SamplerKind::Rank;
+        let mut kd_spec = rank_spec.clone();
+        kd_spec.sampler = SamplerKind::Kd;
+        let r_rank = ctx.run(&rank_spec);
+        let r_kd = ctx.run(&kd_spec);
+        eprintln!(
+            "  {metric}: TMN HR-10 {:.4} vs TMN-kd {:.4}",
+            r_rank.eval.hr10, r_kd.eval.hr10
+        );
+        table.row(&[
+            metric.name().into(),
+            "HR-10".into(),
+            format!("{:.4}", r_rank.eval.hr10),
+            format!("{:.4}", r_kd.eval.hr10),
+        ]);
+        table.row(&[
+            metric.name().into(),
+            "HR-50".into(),
+            format!("{:.4}", r_rank.eval.hr50),
+            format!("{:.4}", r_kd.eval.hr50),
+        ]);
+        table.row(&[
+            metric.name().into(),
+            "R10@50".into(),
+            format!("{:.4}", r_rank.eval.r10_50),
+            format!("{:.4}", r_kd.eval.r10_50),
+        ]);
+        results.push(r_rank);
+        results.push(r_kd);
+    }
+    println!();
+    table.print();
+    write_json("table4", &results).expect("write results");
+}

@@ -1,0 +1,191 @@
+//! Batch construction: padding, masks, last-valid indices, grid-cell ids.
+//!
+//! TMN pads the shorter trajectory of a pair with trailing zero points so
+//! both sides share one length (Section IV-B); in a batch, every trajectory
+//! is padded to the batch maximum and a `[B, m]` mask marks the real points.
+
+use tmn_autograd::Tensor;
+use tmn_traj::Trajectory;
+
+/// One side (A or B) of a batch of trajectory pairs.
+pub struct SideBatch {
+    /// `[B, m, 2]` constant feature tensor (lon, lat), zero-padded.
+    pub feats: Tensor,
+    /// `[B, m]` constant mask: 1.0 on real points, 0.0 on padding.
+    pub mask: Tensor,
+    /// Index of the last real point per row (`len − 1`).
+    pub last_idx: Vec<usize>,
+    /// True (unpadded) lengths.
+    pub lens: Vec<usize>,
+    /// Grid-cell id per point (for NeuTraj's spatial memory); padding gets 0.
+    pub grid_ids: Vec<Vec<usize>>,
+    /// Padded length `m`.
+    pub max_len: usize,
+}
+
+/// Resolution of the square grid used for NeuTraj-style cell ids, assuming
+/// coordinates normalized to `[0, 1]`.
+pub const GRID_RESOLUTION: usize = 24;
+
+/// Grid-cell id of a normalized point.
+pub fn grid_id(lon: f64, lat: f64) -> usize {
+    let g = GRID_RESOLUTION as f64;
+    let cx = (lon * g).floor().clamp(0.0, g - 1.0) as usize;
+    let cy = (lat * g).floor().clamp(0.0, g - 1.0) as usize;
+    cy * GRID_RESOLUTION + cx
+}
+
+/// The 3×3 neighbourhood of a grid cell (clipped at the borders).
+pub fn grid_neighbourhood(cell: usize) -> Vec<usize> {
+    let g = GRID_RESOLUTION as isize;
+    let (cx, cy) = ((cell % GRID_RESOLUTION) as isize, (cell / GRID_RESOLUTION) as isize);
+    let mut out = Vec::with_capacity(9);
+    for dy in -1..=1 {
+        for dx in -1..=1 {
+            let (nx, ny) = (cx + dx, cy + dy);
+            if (0..g).contains(&nx) && (0..g).contains(&ny) {
+                out.push((ny * g + nx) as usize);
+            }
+        }
+    }
+    out
+}
+
+impl SideBatch {
+    /// Build from trajectories, padding to `max_len` (must be ≥ every
+    /// length; pass the pair/batch maximum).
+    pub fn build(trajs: &[&Trajectory], max_len: usize) -> SideBatch {
+        assert!(!trajs.is_empty(), "SideBatch: empty batch");
+        let b = trajs.len();
+        let mut feats = vec![0.0f32; b * max_len * 2];
+        let mut mask = vec![0.0f32; b * max_len];
+        let mut last_idx = Vec::with_capacity(b);
+        let mut lens = Vec::with_capacity(b);
+        let mut grid_ids = Vec::with_capacity(b);
+        for (row, t) in trajs.iter().enumerate() {
+            let len = t.len();
+            assert!(len > 0, "SideBatch: empty trajectory at row {row}");
+            assert!(len <= max_len, "SideBatch: trajectory longer than max_len");
+            let mut cells = Vec::with_capacity(max_len);
+            for (i, p) in t.points().iter().enumerate() {
+                feats[(row * max_len + i) * 2] = p.lon as f32;
+                feats[(row * max_len + i) * 2 + 1] = p.lat as f32;
+                mask[row * max_len + i] = 1.0;
+                cells.push(grid_id(p.lon, p.lat));
+            }
+            cells.resize(max_len, 0);
+            last_idx.push(len - 1);
+            lens.push(len);
+            grid_ids.push(cells);
+        }
+        SideBatch {
+            feats: Tensor::from_vec(feats, &[b, max_len, 2]),
+            mask: Tensor::from_vec(mask, &[b, max_len]),
+            last_idx,
+            lens,
+            grid_ids,
+            max_len,
+        }
+    }
+
+    pub fn batch_size(&self) -> usize {
+        self.last_idx.len()
+    }
+}
+
+/// A batch of trajectory pairs `(T_a, T_s)` padded to a common length.
+pub struct PairBatch {
+    pub a: SideBatch,
+    pub b: SideBatch,
+}
+
+impl PairBatch {
+    /// Build from parallel slices of anchors and samples. Both sides are
+    /// padded to the same `m = max length across the whole batch`, matching
+    /// the paper's equal-length padding.
+    pub fn build(anchors: &[&Trajectory], samples: &[&Trajectory]) -> PairBatch {
+        assert_eq!(anchors.len(), samples.len(), "PairBatch: side lengths differ");
+        let max_len = anchors
+            .iter()
+            .chain(samples.iter())
+            .map(|t| t.len())
+            .max()
+            .expect("PairBatch: empty batch");
+        PairBatch { a: SideBatch::build(anchors, max_len), b: SideBatch::build(samples, max_len) }
+    }
+
+    pub fn batch_size(&self) -> usize {
+        self.a.batch_size()
+    }
+
+    pub fn max_len(&self) -> usize {
+        self.a.max_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmn_traj::Trajectory;
+
+    fn t(n: usize) -> Trajectory {
+        (0..n).map(|i| tmn_traj::Point::new(0.1 * i as f64, 0.5)).collect()
+    }
+
+    #[test]
+    fn padding_and_masks() {
+        let (a, b) = (t(3), t(5));
+        let batch = PairBatch::build(&[&a], &[&b]);
+        assert_eq!(batch.max_len(), 5);
+        assert_eq!(batch.a.mask.to_vec(), vec![1.0, 1.0, 1.0, 0.0, 0.0]);
+        assert_eq!(batch.b.mask.to_vec(), vec![1.0; 5]);
+        assert_eq!(batch.a.last_idx, vec![2]);
+        assert_eq!(batch.b.last_idx, vec![4]);
+        // Padded features are zero.
+        let f = batch.a.feats.to_vec();
+        assert_eq!(&f[6..], &[0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn batch_max_spans_both_sides() {
+        let (a1, a2) = (t(3), t(8));
+        let (b1, b2) = (t(4), t(2));
+        let batch = PairBatch::build(&[&a1, &a2], &[&b1, &b2]);
+        assert_eq!(batch.max_len(), 8);
+        assert_eq!(batch.a.feats.shape(), &[2, 8, 2]);
+        assert_eq!(batch.b.feats.shape(), &[2, 8, 2]);
+    }
+
+    #[test]
+    fn grid_ids_cover_points_and_pad_zero() {
+        let a = t(3);
+        let sb = SideBatch::build(&[&a], 5);
+        assert_eq!(sb.grid_ids[0].len(), 5);
+        assert_eq!(sb.grid_ids[0][3], 0);
+        assert_eq!(sb.grid_ids[0][4], 0);
+    }
+
+    #[test]
+    fn grid_id_corners() {
+        assert_eq!(grid_id(0.0, 0.0), 0);
+        assert_eq!(grid_id(1.0, 1.0), GRID_RESOLUTION * GRID_RESOLUTION - 1);
+        // Out-of-range coordinates clamp instead of overflowing.
+        assert_eq!(grid_id(2.0, 2.0), GRID_RESOLUTION * GRID_RESOLUTION - 1);
+        assert_eq!(grid_id(-1.0, -1.0), 0);
+    }
+
+    #[test]
+    fn neighbourhood_sizes() {
+        assert_eq!(grid_neighbourhood(0).len(), 4); // corner
+        let mid = grid_id(0.5, 0.5);
+        assert_eq!(grid_neighbourhood(mid).len(), 9);
+        assert!(grid_neighbourhood(mid).contains(&mid));
+    }
+
+    #[test]
+    #[should_panic(expected = "side lengths differ")]
+    fn mismatched_sides_panic() {
+        let a = t(3);
+        let _ = PairBatch::build(&[&a], &[]);
+    }
+}

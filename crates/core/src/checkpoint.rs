@@ -1,0 +1,163 @@
+//! Binary model checkpoints: serialize a [`ParamSet`] snapshot to a compact
+//! framed buffer (via `bytes`) and restore it into a freshly built model.
+//!
+//! Format (little-endian):
+//! ```text
+//! magic "TMNW" | version u32 | n_params u32 |
+//!   repeat n_params times:
+//!     name_len u32 | name bytes | rank u32 | dims u32... | data f32...
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tmn_autograd::nn::ParamSet;
+
+const MAGIC: &[u8; 4] = b"TMNW";
+const VERSION: u32 = 1;
+
+/// Errors produced when decoding a checkpoint buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    BadMagic,
+    UnsupportedVersion(u32),
+    Truncated,
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a TMN checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            CheckpointError::Truncated => write!(f, "buffer ends mid-record"),
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serialize the parameters of a model into a checkpoint buffer.
+pub fn save_params(params: &ParamSet) -> Bytes {
+    let snap = params.snapshot();
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(snap.len() as u32);
+    for (name, shape, data) in &snap {
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+        buf.put_u32_le(shape.len() as u32);
+        for &d in shape {
+            buf.put_u32_le(d as u32);
+        }
+        for &v in data {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// One decoded parameter: `(name, shape, data)`.
+pub type ParamRow = (String, Vec<usize>, Vec<f32>);
+
+/// Decode a checkpoint buffer into `(name, shape, data)` rows.
+pub fn decode(mut buf: &[u8]) -> Result<Vec<ParamRow>, CheckpointError> {
+    if buf.remaining() < 12 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if buf.remaining() < 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len {
+            return Err(CheckpointError::Truncated);
+        }
+        let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+            .map_err(|_| CheckpointError::Corrupt("non-utf8 parameter name"))?;
+        if buf.remaining() < 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let rank = buf.get_u32_le() as usize;
+        if rank > 8 {
+            return Err(CheckpointError::Corrupt("implausible tensor rank"));
+        }
+        if buf.remaining() < 4 * rank {
+            return Err(CheckpointError::Truncated);
+        }
+        let shape: Vec<usize> = (0..rank).map(|_| buf.get_u32_le() as usize).collect();
+        let numel: usize = shape.iter().product();
+        if buf.remaining() < 4 * numel {
+            return Err(CheckpointError::Truncated);
+        }
+        let data: Vec<f32> = (0..numel).map(|_| buf.get_f32_le()).collect();
+        out.push((name, shape, data));
+    }
+    Ok(out)
+}
+
+/// Restore a checkpoint buffer into a model's parameters. Names and shapes
+/// must match the model exactly (panics otherwise, as `ParamSet::restore`
+/// does).
+pub fn load_params(params: &ParamSet, buf: &[u8]) -> Result<(), CheckpointError> {
+    let snap = decode(buf)?;
+    params.restore(&snap);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::models::ModelKind;
+
+    #[test]
+    fn roundtrip_all_models() {
+        for kind in ModelKind::ALL {
+            let model = kind.build(&ModelConfig { dim: 8, seed: 1 });
+            let buf = save_params(model.params());
+            let clone = kind.build(&ModelConfig { dim: 8, seed: 999 });
+            load_params(clone.params(), &buf).unwrap();
+            for ((n1, t1), (n2, t2)) in model.params().iter().zip(clone.params().iter()) {
+                assert_eq!(n1, n2);
+                assert_eq!(t1.to_vec(), t2.to_vec(), "{kind}: weights differ after roundtrip");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode(b"NOPE........"), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let model = ModelKind::Srn.build(&ModelConfig { dim: 8, seed: 2 });
+        let buf = save_params(model.params());
+        let cut = &buf[..buf.len() / 2];
+        assert_eq!(decode(cut), Err(CheckpointError::Truncated));
+    }
+
+    #[test]
+    fn version_checked() {
+        let mut raw = save_params(ModelKind::Srn.build(&ModelConfig { dim: 8, seed: 3 }).params()).to_vec();
+        raw[4] = 99; // bump version byte
+        assert_eq!(decode(&raw), Err(CheckpointError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn empty_buffer_rejected() {
+        assert_eq!(decode(&[]), Err(CheckpointError::Truncated));
+    }
+}

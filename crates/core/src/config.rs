@@ -1,0 +1,120 @@
+//! Model and training configuration (defaults follow Section V-A4, scaled
+//! where the paper's GPU-sized values are impractical on CPU).
+
+use serde::{Deserialize, Serialize};
+
+/// Which loss the regression objective uses (Fig. 3 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Weighted mean squared error (Eq. 14–16) — the paper's choice.
+    Mse,
+    /// Q-error (Moerkotte et al.) — the compared alternative.
+    QError,
+}
+
+/// Hyperparameters shared by all models.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Hidden/embedding dimension `d` (paper default 128; must be even —
+    /// the point embedding dimension is `d̂ = d/2`, Eq. 4).
+    pub dim: usize,
+    /// RNG seed for weight init.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig { dim: 32, seed: 42 }
+    }
+}
+
+impl ModelConfig {
+    pub fn with_dim(dim: usize) -> ModelConfig {
+        ModelConfig { dim, ..Default::default() }
+    }
+
+    /// The point-embedding dimension `d̂ = d / 2`.
+    pub fn half_dim(&self) -> usize {
+        assert!(self.dim.is_multiple_of(2), "dim must be even (d̂ = d/2)");
+        self.dim / 2
+    }
+}
+
+/// Training-loop hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrainConfig {
+    pub epochs: usize,
+    /// Learning rate (paper: 5e-3 under DTW on Porto).
+    pub lr: f32,
+    /// Sampling number `sn` = total samples per anchor; half near, half far
+    /// (paper default 20).
+    pub sampling_number: usize,
+    /// Pairs per gradient step.
+    pub batch_pairs: usize,
+    /// Loss function to use.
+    pub loss: LossKind,
+    /// Enable the sub-trajectory loss term (Eq. 15).
+    pub use_sub_loss: bool,
+    /// Sub-trajectory sampling stride (paper: every 10th point).
+    pub sub_stride: usize,
+    /// Gradient clipping (global L2 norm).
+    pub clip: f32,
+    /// Seed for sampling shuffles.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 12,
+            lr: 5e-3,
+            sampling_number: 20,
+            batch_pairs: 32,
+            loss: LossKind::Mse,
+            use_sub_loss: true,
+            sub_stride: 10,
+            clip: 5.0,
+            seed: 7,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Near (= far) samples per anchor, `k = sn / 2`.
+    pub fn k(&self) -> usize {
+        (self.sampling_number / 2).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_dim() {
+        assert_eq!(ModelConfig::with_dim(128).half_dim(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_dim_panics() {
+        let _ = ModelConfig::with_dim(33).half_dim();
+    }
+
+    #[test]
+    fn k_is_half_sampling_number() {
+        let cfg = TrainConfig { sampling_number: 20, ..Default::default() };
+        assert_eq!(cfg.k(), 10);
+        let tiny = TrainConfig { sampling_number: 1, ..Default::default() };
+        assert_eq!(tiny.k(), 1);
+    }
+
+    #[test]
+    fn configs_serialize() {
+        let cfg = TrainConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: TrainConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.epochs, cfg.epochs);
+        assert_eq!(back.loss, cfg.loss);
+    }
+}

@@ -1,0 +1,31 @@
+//! # tmn-core
+//!
+//! The paper's primary contribution and its baselines: TMN (Trajectory
+//! Matching Networks, ICDE 2022) plus SRN, NeuTraj, T3S and Traj2SimVec,
+//! with the training recipe of Section IV — rank-weighted MSE / Q-error
+//! losses, sub-trajectory supervision, and per-anchor near/far sampling.
+//!
+//! ```
+//! use tmn_core::{ModelConfig, ModelKind, PairBatch, PairModel};
+//! use tmn_traj::Trajectory;
+//!
+//! let model = ModelKind::Tmn.build(&ModelConfig { dim: 16, seed: 1 });
+//! let a = Trajectory::from_coords(&[(0.1, 0.2), (0.3, 0.4), (0.5, 0.4)]);
+//! let b = Trajectory::from_coords(&[(0.1, 0.1), (0.4, 0.4)]);
+//! let enc = model.encode_pairs(&PairBatch::build(&[&a], &[&b]));
+//! assert_eq!(enc.out_a.shape(), &[1, 3, 16]); // [B, m, d]
+//! ```
+
+pub mod batch;
+pub mod checkpoint;
+pub mod config;
+pub mod loss;
+pub mod models;
+pub mod trainer;
+
+pub use batch::{grid_id, grid_neighbourhood, PairBatch, SideBatch, GRID_RESOLUTION};
+pub use checkpoint::{load_params, save_params, CheckpointError};
+pub use config::{LossKind, ModelConfig, TrainConfig};
+pub use loss::{pair_loss, PairTargets};
+pub use models::{EncodedBatch, ModelKind, NeuTraj, PairModel, Srn, T3s, Tmn};
+pub use trainer::{EpochStats, Trainer, TrainStats};

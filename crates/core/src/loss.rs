@@ -1,0 +1,215 @@
+//! Training objectives (Section IV-D).
+//!
+//! - `L_entire` (Eq. 14): rank-weighted regression between the predicted
+//!   similarity `exp(−‖o_a − o_s‖)` and the ground truth `exp(−α·D)`.
+//! - `L_sub` (Eq. 15): the same objective on prefix sub-trajectories sampled
+//!   at every `stride`-th point, normalized by the number of prefixes.
+//! - `L = L_entire + L_sub` (Eq. 16), or Q-error in place of MSE (Fig. 3).
+
+use crate::batch::PairBatch;
+use crate::config::LossKind;
+use crate::models::EncodedBatch;
+use tmn_autograd::{ops, Tensor};
+
+/// Ground-truth supervision for one batch of pairs.
+#[derive(Debug, Clone, Default)]
+pub struct PairTargets {
+    /// Ground-truth similarity per pair.
+    pub sim: Vec<f32>,
+    /// Eq. 14 rank weight per pair.
+    pub weight: Vec<f32>,
+    /// Per pair: `(prefix_len, similarity)` for the sub-trajectory loss;
+    /// empty when sub-loss is disabled or the pair is too short.
+    pub sub: Vec<Vec<(usize, f32)>>,
+}
+
+impl PairTargets {
+    pub fn len(&self) -> usize {
+        self.sim.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sim.is_empty()
+    }
+}
+
+const DIST_EPS: f32 = 1e-8;
+const QERR_EPS: f32 = 1e-4;
+
+/// Predicted similarity `exp(−‖u − v‖)` for rows gathered at `idx_a/idx_b`.
+fn predict_similarity(
+    out_a: &Tensor,
+    out_b: &Tensor,
+    idx_a: &[usize],
+    idx_b: &[usize],
+) -> Tensor {
+    let oa = ops::gather_time(out_a, idx_a);
+    let ob = ops::gather_time(out_b, idx_b);
+    let diff = ops::sub(&oa, &ob);
+    let dist = ops::sqrt_eps(&ops::sum_last(&ops::mul(&diff, &diff)), DIST_EPS);
+    ops::exp(&ops::neg(&dist))
+}
+
+/// Weighted regression error between predictions and constant targets.
+fn weighted_error(pred: &Tensor, target: &[f32], weight: &[f32], kind: LossKind) -> Tensor {
+    let t = Tensor::from_vec(target.to_vec(), &[target.len()]);
+    let w = Tensor::from_vec(weight.to_vec(), &[weight.len()]);
+    match kind {
+        LossKind::Mse => {
+            let err = ops::sub(pred, &t);
+            ops::sum_all(&ops::mul(&w, &ops::mul(&err, &err)))
+        }
+        LossKind::QError => {
+            // Q-error is ≥ 1; subtract the floor so a perfect fit is 0 loss.
+            let q = ops::add_scalar(&ops::qerror(pred, &t, QERR_EPS), -1.0);
+            ops::sum_all(&ops::mul(&w, &q))
+        }
+    }
+}
+
+/// Full training loss for a batch: `L_entire` plus (optionally) `L_sub`.
+///
+/// Returns a scalar tensor; its graph reaches the model parameters through
+/// `encoded`.
+pub fn pair_loss(
+    encoded: &EncodedBatch,
+    batch: &PairBatch,
+    targets: &PairTargets,
+    kind: LossKind,
+) -> Tensor {
+    let b = batch.batch_size();
+    assert_eq!(targets.len(), b, "targets/batch size mismatch");
+    // L_entire (Eq. 14): representations at the true final points.
+    let pred = predict_similarity(&encoded.out_a, &encoded.out_b, &batch.a.last_idx, &batch.b.last_idx);
+    let mut loss = weighted_error(&pred, &targets.sim, &targets.weight, kind);
+
+    // L_sub (Eq. 15): group sub entries by prefix length so each group is
+    // one batched gather; rows without that prefix get weight 0.
+    if !targets.sub.is_empty() {
+        let mut levels: Vec<usize> = targets
+            .sub
+            .iter()
+            .flat_map(|s| s.iter().map(|&(l, _)| l))
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        for level in levels {
+            let mut idx = vec![0usize; b];
+            let mut sim = vec![0.0f32; b];
+            let mut w = vec![0.0f32; b];
+            let mut any = false;
+            for (row, subs) in targets.sub.iter().enumerate() {
+                if let Some(&(_, s)) = subs.iter().find(|&&(l, _)| l == level) {
+                    idx[row] = level - 1; // prefix of length `level`
+                    sim[row] = s;
+                    // Eq. 15's 1/r factor, combined with the pair's weight.
+                    w[row] = targets.weight[row] / subs.len() as f32;
+                    any = true;
+                } else {
+                    idx[row] = batch.a.last_idx[row].min(batch.b.last_idx[row]);
+                }
+            }
+            if !any {
+                continue;
+            }
+            let pred_l = predict_similarity(&encoded.out_a, &encoded.out_b, &idx, &idx);
+            let l_sub = weighted_error(&pred_l, &sim, &w, kind);
+            loss = ops::add(&loss, &l_sub);
+        }
+    }
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::PairBatch;
+    use crate::config::ModelConfig;
+    use crate::models::{ModelKind, PairModel};
+    use tmn_traj::{Point, Trajectory};
+
+    fn traj(off: f64, len: usize) -> Trajectory {
+        (0..len).map(|i| Point::new(0.05 * i as f64, off)).collect()
+    }
+
+    fn setup() -> (Box<dyn PairModel>, PairBatch) {
+        let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 2 });
+        let (a1, a2) = (traj(0.1, 8), traj(0.2, 12));
+        let (b1, b2) = (traj(0.15, 10), traj(0.8, 12));
+        let batch = PairBatch::build(&[&a1, &a2], &[&b1, &b2]);
+        (model, batch)
+    }
+
+    fn targets(sub: bool) -> PairTargets {
+        PairTargets {
+            sim: vec![0.9, 0.1],
+            weight: vec![0.6, 0.4],
+            sub: if sub {
+                vec![vec![(5, 0.95)], vec![(5, 0.2), (10, 0.15)]]
+            } else {
+                vec![Vec::new(), Vec::new()]
+            },
+        }
+    }
+
+    #[test]
+    fn loss_is_finite_scalar_and_differentiable() {
+        let (model, batch) = setup();
+        let enc = model.encode_pairs(&batch);
+        let loss = pair_loss(&enc, &batch, &targets(true), LossKind::Mse);
+        assert_eq!(loss.shape(), &[1]);
+        assert!(loss.item().is_finite() && loss.item() >= 0.0);
+        loss.backward();
+        assert!(model.params().grad_norm() > 0.0);
+    }
+
+    #[test]
+    fn sub_loss_increases_total() {
+        let (model, batch) = setup();
+        let enc = model.encode_pairs(&batch);
+        let without = pair_loss(&enc, &batch, &targets(false), LossKind::Mse).item();
+        let enc2 = model.encode_pairs(&batch);
+        let with = pair_loss(&enc2, &batch, &targets(true), LossKind::Mse).item();
+        assert!(with >= without, "sub loss must be non-negative: {with} vs {without}");
+    }
+
+    #[test]
+    fn qerror_loss_nonnegative_and_differentiable() {
+        let (model, batch) = setup();
+        let enc = model.encode_pairs(&batch);
+        let loss = pair_loss(&enc, &batch, &targets(true), LossKind::QError);
+        assert!(loss.item().is_finite() && loss.item() >= 0.0);
+        loss.backward();
+        assert!(model.params().grad_norm() > 0.0);
+    }
+
+    #[test]
+    fn perfect_prediction_gives_zero_entire_loss() {
+        // If target similarity equals the prediction, MSE entire-loss is 0.
+        let (model, batch) = setup();
+        let enc = model.encode_pairs(&batch);
+        let pred = predict_similarity(
+            &enc.out_a,
+            &enc.out_b,
+            &batch.a.last_idx,
+            &batch.b.last_idx,
+        );
+        let t = PairTargets {
+            sim: pred.to_vec(),
+            weight: vec![0.5, 0.5],
+            sub: vec![Vec::new(), Vec::new()],
+        };
+        let enc2 = model.encode_pairs(&batch);
+        let loss = pair_loss(&enc2, &batch, &t, LossKind::Mse);
+        assert!(loss.item() < 1e-10, "loss {}", loss.item());
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_targets_panic() {
+        let (model, batch) = setup();
+        let enc = model.encode_pairs(&batch);
+        let bad = PairTargets { sim: vec![0.5], weight: vec![1.0], sub: vec![Vec::new()] };
+        let _ = pair_loss(&enc, &batch, &bad, LossKind::Mse);
+    }
+}

@@ -1,0 +1,334 @@
+//! The training loop: sample pairs per anchor, batch them, minimize the
+//! pair loss with Adam (Section IV-C/D, parameter settings of Section V-A4).
+
+use crate::batch::PairBatch;
+use crate::config::TrainConfig;
+use crate::loss::{pair_loss, PairTargets};
+use crate::models::PairModel;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::Instant;
+use tmn_data::Sampler;
+use tmn_traj::metrics::{prefix_distances, Metric, MetricParams};
+use tmn_traj::{DistanceMatrix, SimilarityMatrix, Trajectory};
+use tmn_autograd::optim::{train_step, Adam};
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct EpochStats {
+    pub epoch: usize,
+    /// Mean loss per pair.
+    pub loss: f32,
+    pub pairs: usize,
+    pub seconds: f64,
+}
+
+/// Whole-run statistics.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct TrainStats {
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainStats {
+    pub fn final_loss(&self) -> f32 {
+        self.epochs.last().map(|e| e.loss).unwrap_or(f32::NAN)
+    }
+
+    pub fn total_seconds(&self) -> f64 {
+        self.epochs.iter().map(|e| e.seconds).sum()
+    }
+
+    /// Mean seconds per epoch (the paper's Table III "Training" figure).
+    pub fn seconds_per_epoch(&self) -> f64 {
+        if self.epochs.is_empty() {
+            0.0
+        } else {
+            self.total_seconds() / self.epochs.len() as f64
+        }
+    }
+}
+
+/// Trains a [`PairModel`] against one distance metric's ground truth.
+pub struct Trainer<'a> {
+    model: &'a dyn PairModel,
+    train: &'a [Trajectory],
+    dmat: &'a DistanceMatrix,
+    smat: SimilarityMatrix,
+    metric: Metric,
+    mparams: MetricParams,
+    config: TrainConfig,
+    sampler: Box<dyn Sampler + 'a>,
+    optimizer: Adam,
+    rng: StdRng,
+    /// Cache of prefix similarities per (anchor, sample) pair.
+    sub_cache: HashMap<(usize, usize), Vec<(usize, f32)>>,
+}
+
+impl<'a> Trainer<'a> {
+    /// `alpha` defaults to the paper's per-metric value when `None`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        model: &'a dyn PairModel,
+        train: &'a [Trajectory],
+        dmat: &'a DistanceMatrix,
+        metric: Metric,
+        mparams: MetricParams,
+        sampler: Box<dyn Sampler + 'a>,
+        config: TrainConfig,
+        alpha: Option<f64>,
+    ) -> Trainer<'a> {
+        assert_eq!(train.len(), dmat.len(), "distance matrix must cover the training set");
+        assert!(train.len() >= 2, "need at least two training trajectories");
+        let smat = dmat.to_similarity(alpha.unwrap_or_else(|| metric.default_alpha()));
+        let optimizer = Adam::new(model.params(), config.lr);
+        let rng = StdRng::seed_from_u64(config.seed);
+        Trainer {
+            model,
+            train,
+            dmat,
+            smat,
+            metric,
+            mparams,
+            config,
+            sampler,
+            optimizer,
+            rng,
+            sub_cache: HashMap::new(),
+        }
+    }
+
+    /// The similarity transform in use (needed to interpret predictions).
+    pub fn similarity(&self) -> &SimilarityMatrix {
+        &self.smat
+    }
+
+    fn sub_targets(&mut self, a: usize, s: usize) -> Vec<(usize, f32)> {
+        if !self.config.use_sub_loss {
+            return Vec::new();
+        }
+        let key = if a <= s { (a, s) } else { (s, a) };
+        if let Some(v) = self.sub_cache.get(&key) {
+            return v.clone();
+        }
+        let prefixes = prefix_distances(
+            self.metric,
+            &self.train[key.0],
+            &self.train[key.1],
+            self.config.sub_stride,
+            &self.mparams,
+        );
+        let v: Vec<(usize, f32)> = prefixes
+            .into_iter()
+            .map(|(i, d)| (i, self.smat.similarity_of_distance(d) as f32))
+            .collect();
+        self.sub_cache.insert(key, v.clone());
+        v
+    }
+
+    /// One gradient step over a flat list of `(anchor, sample, weight)`.
+    fn step(&mut self, pairs: &[(usize, usize, f32)]) -> f32 {
+        let anchors: Vec<&Trajectory> = pairs.iter().map(|&(a, _, _)| &self.train[a]).collect();
+        let samples: Vec<&Trajectory> = pairs.iter().map(|&(_, s, _)| &self.train[s]).collect();
+        let batch = PairBatch::build(&anchors, &samples);
+        let targets = PairTargets {
+            sim: pairs.iter().map(|&(a, s, _)| self.smat.get(a, s) as f32).collect(),
+            weight: pairs.iter().map(|&(_, _, w)| w).collect(),
+            sub: pairs.iter().map(|&(a, s, _)| self.sub_targets(a, s)).collect(),
+        };
+        let encoded = self.model.encode_pairs(&batch);
+        let loss = pair_loss(&encoded, &batch, &targets, self.config.loss);
+        let (loss_val, _norm) =
+            train_step(self.model.params(), &mut self.optimizer, &loss, self.config.clip);
+        self.model.post_step(&batch, &encoded);
+        loss_val
+    }
+
+    /// Run one epoch: every training trajectory serves as anchor once.
+    pub fn train_epoch(&mut self, epoch: usize) -> EpochStats {
+        let start = Instant::now();
+        let k = self.config.k();
+        let mut order: Vec<usize> = (0..self.train.len()).collect();
+        order.shuffle(&mut self.rng);
+        let mut buffer: Vec<(usize, usize, f32)> = Vec::with_capacity(self.config.batch_pairs * 2);
+        let mut total_loss = 0.0f64;
+        let mut total_pairs = 0usize;
+        for &anchor in &order {
+            let samples = self.sampler.sample(anchor, k, self.dmat, &mut self.rng);
+            buffer.extend(samples.pairs());
+            while buffer.len() >= self.config.batch_pairs {
+                let chunk: Vec<_> = buffer.drain(..self.config.batch_pairs).collect();
+                total_loss += self.step(&chunk) as f64;
+                total_pairs += chunk.len();
+            }
+        }
+        if !buffer.is_empty() {
+            let chunk: Vec<_> = std::mem::take(&mut buffer);
+            total_loss += self.step(&chunk) as f64;
+            total_pairs += chunk.len();
+        }
+        EpochStats {
+            epoch,
+            loss: (total_loss / total_pairs.max(1) as f64) as f32,
+            pairs: total_pairs,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Run all configured epochs.
+    pub fn train(&mut self) -> TrainStats {
+        self.train_with(|_| {})
+    }
+
+    /// Run all configured epochs, invoking `on_epoch` after each one
+    /// (progress reporting, early-stopping checks, checkpointing).
+    pub fn train_with(&mut self, mut on_epoch: impl FnMut(&EpochStats)) -> TrainStats {
+        let mut stats = TrainStats::default();
+        for e in 0..self.config.epochs {
+            let epoch = self.train_epoch(e);
+            on_epoch(&epoch);
+            stats.epochs.push(epoch);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LossKind, ModelConfig};
+    use crate::models::ModelKind;
+    use tmn_data::RankSampler;
+    use tmn_traj::Point;
+
+    fn toy_set(n: usize) -> Vec<Trajectory> {
+        (0..n)
+            .map(|i| {
+                let off = i as f64 / n as f64;
+                (0..12).map(|t| Point::new(0.08 * t as f64, off)).collect()
+            })
+            .collect()
+    }
+
+    fn quick_config() -> TrainConfig {
+        TrainConfig {
+            epochs: 3,
+            lr: 5e-3,
+            sampling_number: 6,
+            batch_pairs: 12,
+            loss: LossKind::Mse,
+            use_sub_loss: true,
+            sub_stride: 5,
+            clip: 5.0,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn loss_decreases_on_toy_data() {
+        let train = toy_set(16);
+        let dmat = DistanceMatrix::compute(&train, Metric::Dtw, &MetricParams::default(), 1);
+        let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 1 });
+        let mut trainer = Trainer::new(
+            model.as_ref(),
+            &train,
+            &dmat,
+            Metric::Dtw,
+            MetricParams::default(),
+            Box::new(RankSampler),
+            TrainConfig { epochs: 6, ..quick_config() },
+            None,
+        );
+        let stats = trainer.train();
+        assert_eq!(stats.epochs.len(), 6);
+        let first = stats.epochs[0].loss;
+        let last = stats.final_loss();
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+        assert!(last.is_finite());
+    }
+
+    #[test]
+    fn all_model_kinds_train_one_epoch() {
+        let train = toy_set(10);
+        let dmat = DistanceMatrix::compute(&train, Metric::Hausdorff, &MetricParams::default(), 1);
+        for kind in ModelKind::ALL {
+            let model = kind.build(&ModelConfig { dim: 8, seed: 2 });
+            let mut trainer = Trainer::new(
+                model.as_ref(),
+                &train,
+                &dmat,
+                Metric::Hausdorff,
+                MetricParams::default(),
+                Box::new(RankSampler),
+                TrainConfig { epochs: 1, ..quick_config() },
+                None,
+            );
+            let stats = trainer.train();
+            assert!(stats.final_loss().is_finite(), "{kind}: non-finite loss");
+            assert!(stats.epochs[0].pairs > 0, "{kind}: no pairs trained");
+        }
+    }
+
+    #[test]
+    fn qerror_training_stays_finite() {
+        let train = toy_set(10);
+        let dmat = DistanceMatrix::compute(&train, Metric::Dtw, &MetricParams::default(), 1);
+        let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 3 });
+        let mut trainer = Trainer::new(
+            model.as_ref(),
+            &train,
+            &dmat,
+            Metric::Dtw,
+            MetricParams::default(),
+            Box::new(RankSampler),
+            TrainConfig { loss: LossKind::QError, epochs: 2, ..quick_config() },
+            None,
+        );
+        let stats = trainer.train();
+        assert!(stats.final_loss().is_finite());
+    }
+
+    #[test]
+    fn train_with_invokes_callback_per_epoch() {
+        let train = toy_set(8);
+        let dmat = DistanceMatrix::compute(&train, Metric::Dtw, &MetricParams::default(), 1);
+        let model = ModelKind::Srn.build(&ModelConfig { dim: 8, seed: 5 });
+        let mut trainer = Trainer::new(
+            model.as_ref(),
+            &train,
+            &dmat,
+            Metric::Dtw,
+            MetricParams::default(),
+            Box::new(RankSampler),
+            TrainConfig { epochs: 3, ..quick_config() },
+            None,
+        );
+        let mut seen = Vec::new();
+        let stats = trainer.train_with(|e| seen.push(e.epoch));
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert_eq!(stats.epochs.len(), 3);
+    }
+
+    #[test]
+    fn sub_cache_fills_and_is_symmetric() {
+        let train = toy_set(8);
+        let dmat = DistanceMatrix::compute(&train, Metric::Dtw, &MetricParams::default(), 1);
+        let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 4 });
+        let mut trainer = Trainer::new(
+            model.as_ref(),
+            &train,
+            &dmat,
+            Metric::Dtw,
+            MetricParams::default(),
+            Box::new(RankSampler),
+            quick_config(),
+            None,
+        );
+        let v1 = trainer.sub_targets(1, 3);
+        let v2 = trainer.sub_targets(3, 1);
+        assert_eq!(v1, v2, "sub-target cache must be symmetric");
+        assert!(!v1.is_empty());
+        assert!(trainer.sub_cache.len() == 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end dataset assembly: generate → filter → normalize → split.
+
+use crate::generators::{DatasetKind, GenConfig};
+use crate::preprocess::{filter, train_test_split, FilterConfig, Normalizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tmn_traj::metrics::{Metric, MetricParams};
+use tmn_traj::{DistanceMatrix, Trajectory};
+
+/// Everything needed to build a dataset reproducibly from one seed.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetConfig {
+    pub kind: DatasetKind,
+    pub gen: GenConfig,
+    pub filter: FilterConfig,
+    /// Fraction used for training (the paper's tr = 0.2).
+    pub train_ratio: f64,
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    pub fn new(kind: DatasetKind, count: usize, seed: u64) -> DatasetConfig {
+        DatasetConfig {
+            kind,
+            gen: GenConfig { count, ..Default::default() },
+            filter: FilterConfig::default(),
+            train_ratio: 0.2,
+            seed,
+        }
+    }
+}
+
+/// A prepared dataset: normalized trajectories split into train and test.
+pub struct Dataset {
+    pub name: &'static str,
+    pub train: Vec<Trajectory>,
+    pub test: Vec<Trajectory>,
+    pub normalizer: Normalizer,
+}
+
+impl Dataset {
+    /// Build from a config. The generator over-produces slightly so the
+    /// post-filter count tracks `gen.count` closely.
+    pub fn generate(config: &DatasetConfig) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut gen_cfg = config.gen;
+        // Headroom for records the filters will drop.
+        gen_cfg.count = (config.gen.count as f64 * 1.2) as usize + 4;
+        let raw = config.kind.generate(&gen_cfg, &mut rng);
+        let mut kept = filter(raw, &config.filter);
+        kept.truncate(config.gen.count);
+        let normalizer = Normalizer::fit(&kept);
+        let normalized = normalizer.transform_all(&kept);
+        let (train, test) = train_test_split(&normalized, config.train_ratio);
+        Dataset { name: config.kind.name(), train, test, normalizer }
+    }
+
+    pub fn total_len(&self) -> usize {
+        self.train.len() + self.test.len()
+    }
+
+    /// Ground-truth distance matrix over the training set.
+    pub fn train_distance_matrix(&self, metric: Metric, params: &MetricParams, threads: usize) -> DistanceMatrix {
+        DistanceMatrix::compute(&self.train, metric, params, threads)
+    }
+
+    /// Ground-truth distance matrix over the test set (evaluation target).
+    pub fn test_distance_matrix(&self, metric: Metric, params: &MetricParams, threads: usize) -> DistanceMatrix {
+        DistanceMatrix::compute(&self.test, metric, params, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_splits_by_ratio() {
+        let cfg = DatasetConfig::new(DatasetKind::GeolifeLike, 100, 42);
+        let ds = Dataset::generate(&cfg);
+        assert_eq!(ds.total_len(), 100);
+        assert_eq!(ds.train.len(), 20);
+        assert_eq!(ds.test.len(), 80);
+        assert_eq!(ds.name, "Geolife");
+    }
+
+    #[test]
+    fn trajectories_are_normalized() {
+        let cfg = DatasetConfig::new(DatasetKind::PortoLike, 50, 1);
+        let ds = Dataset::generate(&cfg);
+        for t in ds.train.iter().chain(&ds.test) {
+            for p in t.points() {
+                assert!((0.0..=1.0).contains(&p.lon) && (0.0..=1.0).contains(&p.lat));
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_dataset() {
+        let cfg = DatasetConfig::new(DatasetKind::PortoLike, 30, 9);
+        let a = Dataset::generate(&cfg);
+        let b = Dataset::generate(&cfg);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn distance_matrices_match_split_sizes() {
+        let cfg = DatasetConfig::new(DatasetKind::GeolifeLike, 30, 3);
+        let ds = Dataset::generate(&cfg);
+        let p = MetricParams::default();
+        assert_eq!(ds.train_distance_matrix(Metric::Dtw, &p, 2).len(), ds.train.len());
+        assert_eq!(ds.test_distance_matrix(Metric::Hausdorff, &p, 2).len(), ds.test.len());
+    }
+}

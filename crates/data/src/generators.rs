@@ -1,0 +1,296 @@
+//! Synthetic dataset generators standing in for Geolife and Porto.
+//!
+//! The real datasets are not redistributable here; these generators
+//! reproduce the statistical properties the experiments depend on (see
+//! DESIGN.md, Substitutions):
+//!
+//! - **Geolife-like**: free-space human movement around a Beijing-sized
+//!   bounding box, heterogeneous transport modes (walk / bike / drive) with
+//!   mode-specific speeds and noise, waypoint-directed paths.
+//! - **Porto-like**: taxi trips constrained to a synthetic road grid,
+//!   shortest-path routes between zone centres, uniform sampling along the
+//!   route, mild GPS noise.
+
+use crate::road::RoadGrid;
+use rand::Rng;
+use tmn_traj::{Point, Trajectory};
+
+/// Beijing-ish bounding box used by the Geolife-like generator
+/// (lon, lat of the south-west and north-east corners).
+pub const GEOLIFE_BBOX: ((f64, f64), (f64, f64)) = ((116.20, 39.80), (116.55, 40.05));
+
+/// Porto-ish bounding box used by the Porto-like generator.
+pub const PORTO_BBOX: ((f64, f64), (f64, f64)) = ((-8.70, 41.10), (-8.55, 41.20));
+
+/// Configuration shared by both generators.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Number of trajectories.
+    pub count: usize,
+    /// Minimum / maximum number of points per trajectory.
+    pub min_len: usize,
+    pub max_len: usize,
+    /// GPS noise standard deviation, in coordinate degrees.
+    pub noise_std: f64,
+    /// Probability that a point is a gross outlier (GPS glitch).
+    pub outlier_prob: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { count: 1000, min_len: 16, max_len: 96, noise_std: 4e-4, outlier_prob: 0.002 }
+    }
+}
+
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn add_noise(p: Point, std: f64, outlier_prob: f64, rng: &mut impl Rng) -> Point {
+    let scale = if rng.gen_bool(outlier_prob) { 20.0 * std } else { std };
+    Point::new(p.lon + gaussian(rng) * scale, p.lat + gaussian(rng) * scale)
+}
+
+/// Transport modes of the Geolife-like generator, with (speed in degrees per
+/// sample, heading persistence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Walk,
+    Bike,
+    Drive,
+}
+
+impl Mode {
+    fn speed(&self) -> f64 {
+        match self {
+            Mode::Walk => 4e-4,
+            Mode::Bike => 1.2e-3,
+            Mode::Drive => 3.5e-3,
+        }
+    }
+
+    fn pick(rng: &mut impl Rng) -> Mode {
+        match rng.gen_range(0..3) {
+            0 => Mode::Walk,
+            1 => Mode::Bike,
+            _ => Mode::Drive,
+        }
+    }
+}
+
+/// Generate a Geolife-like dataset: free human movement, mixed modes.
+pub fn geolife_like(config: &GenConfig, rng: &mut impl Rng) -> Vec<Trajectory> {
+    let ((min_lon, min_lat), (max_lon, max_lat)) = GEOLIFE_BBOX;
+    let centre = Point::new((min_lon + max_lon) / 2.0, (min_lat + max_lat) / 2.0);
+    let spread = ((max_lon - min_lon) / 6.0, (max_lat - min_lat) / 6.0);
+    (0..config.count)
+        .map(|_| {
+            let mode = Mode::pick(rng);
+            let len = rng.gen_range(config.min_len..=config.max_len);
+            // Start near the city centre (Geolife is filtered to the centre
+            // area in the paper's preprocessing).
+            let mut pos = Point::new(
+                (centre.lon + gaussian(rng) * spread.0).clamp(min_lon, max_lon),
+                (centre.lat + gaussian(rng) * spread.1).clamp(min_lat, max_lat),
+            );
+            // Waypoint-directed walk: pick a target, head toward it with
+            // jitter, re-target when close or occasionally at random.
+            let mut target = Point::new(
+                centre.lon + gaussian(rng) * spread.0 * 2.0,
+                centre.lat + gaussian(rng) * spread.1 * 2.0,
+            );
+            let speed = mode.speed() * rng.gen_range(0.7..1.3);
+            let mut points = Vec::with_capacity(len);
+            for _ in 0..len {
+                points.push(add_noise(pos, config.noise_std, config.outlier_prob, rng));
+                let d = pos.dist(&target);
+                if d < speed * 2.0 || rng.gen_bool(0.02) {
+                    target = Point::new(
+                        centre.lon + gaussian(rng) * spread.0 * 2.0,
+                        centre.lat + gaussian(rng) * spread.1 * 2.0,
+                    );
+                }
+                let d = pos.dist(&target).max(1e-12);
+                let step = speed.min(d);
+                pos = Point::new(
+                    (pos.lon + (target.lon - pos.lon) / d * step).clamp(min_lon, max_lon),
+                    (pos.lat + (target.lat - pos.lat) / d * step).clamp(min_lat, max_lat),
+                );
+            }
+            Trajectory::new(points)
+        })
+        .collect()
+}
+
+/// Generate a Porto-like dataset: taxi trips on a road grid between hot
+/// zones, sampled uniformly along the route.
+pub fn porto_like(config: &GenConfig, rng: &mut impl Rng) -> Vec<Trajectory> {
+    let (min, max) = PORTO_BBOX;
+    let grid = RoadGrid::new(40, 30, min, max, 0.4, rng);
+    // Taxi demand hot zones (stations, centre, port...).
+    let zones: Vec<Point> = (0..6)
+        .map(|_| {
+            Point::new(rng.gen_range(min.0..max.0), rng.gen_range(min.1..max.1))
+        })
+        .collect();
+    (0..config.count)
+        .map(|_| {
+            // Pick origin/destination near two random zones.
+            let (za, zb) = (&zones[rng.gen_range(0..zones.len())], &zones[rng.gen_range(0..zones.len())]);
+            let jit = (max.0 - min.0) / 20.0;
+            let from = grid.nearest_node(Point::new(
+                za.lon + gaussian(rng) * jit,
+                za.lat + gaussian(rng) * jit,
+            ));
+            let to = grid.nearest_node(Point::new(
+                zb.lon + gaussian(rng) * jit,
+                zb.lat + gaussian(rng) * jit,
+            ));
+            let path = grid.shortest_path(from, to).expect("grid is connected");
+            // Sample `len` points uniformly along the node path (taxis log at
+            // a fixed 15s interval; route length / len plays that role).
+            let len = rng.gen_range(config.min_len..=config.max_len);
+            let pts: Vec<Point> = path.iter().map(|&n| grid.node_point(n)).collect();
+            let mut points = Vec::with_capacity(len);
+            if pts.len() == 1 {
+                for _ in 0..len {
+                    points.push(add_noise(pts[0], config.noise_std, config.outlier_prob, rng));
+                }
+            } else {
+                // Arc-length parameterization.
+                let seg: Vec<f64> = pts.windows(2).map(|w| w[0].dist(&w[1])).collect();
+                let total: f64 = seg.iter().sum();
+                for i in 0..len {
+                    let t = total * i as f64 / (len - 1).max(1) as f64;
+                    let mut acc = 0.0;
+                    let mut p = *pts.last().unwrap();
+                    for (k, s) in seg.iter().enumerate() {
+                        if acc + s >= t || k == seg.len() - 1 {
+                            let local = if *s > 0.0 { ((t - acc) / s).clamp(0.0, 1.0) } else { 0.0 };
+                            p = Point::new(
+                                pts[k].lon + (pts[k + 1].lon - pts[k].lon) * local,
+                                pts[k].lat + (pts[k + 1].lat - pts[k].lat) * local,
+                            );
+                            break;
+                        }
+                        acc += s;
+                    }
+                    points.push(add_noise(p, config.noise_std, config.outlier_prob, rng));
+                }
+            }
+            Trajectory::new(points)
+        })
+        .collect()
+}
+
+/// Which synthetic dataset to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DatasetKind {
+    GeolifeLike,
+    PortoLike,
+}
+
+impl DatasetKind {
+    pub fn generate(&self, config: &GenConfig, rng: &mut impl Rng) -> Vec<Trajectory> {
+        match self {
+            DatasetKind::GeolifeLike => geolife_like(config, rng),
+            DatasetKind::PortoLike => porto_like(config, rng),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::GeolifeLike => "Geolife",
+            DatasetKind::PortoLike => "Porto",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> GenConfig {
+        GenConfig { count: 50, min_len: 10, max_len: 40, noise_std: 1e-4, outlier_prob: 0.0 }
+    }
+
+    #[test]
+    fn geolife_counts_and_lengths() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let trajs = geolife_like(&cfg(), &mut rng);
+        assert_eq!(trajs.len(), 50);
+        for t in &trajs {
+            assert!((10..=40).contains(&t.len()));
+        }
+    }
+
+    #[test]
+    fn geolife_within_padded_bbox() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let trajs = geolife_like(&cfg(), &mut rng);
+        let ((lo_x, lo_y), (hi_x, hi_y)) = GEOLIFE_BBOX;
+        // Noise can push slightly out of the clamped bbox; allow 10x std.
+        let pad = 1e-2;
+        for t in &trajs {
+            let ((mnx, mny), (mxx, mxy)) = t.bbox().unwrap();
+            assert!(mnx >= lo_x - pad && mny >= lo_y - pad);
+            assert!(mxx <= hi_x + pad && mxy <= hi_y + pad);
+        }
+    }
+
+    #[test]
+    fn porto_counts_and_bbox() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trajs = porto_like(&cfg(), &mut rng);
+        assert_eq!(trajs.len(), 50);
+        let ((lo_x, lo_y), (hi_x, hi_y)) = PORTO_BBOX;
+        let pad = 1e-2;
+        for t in &trajs {
+            assert!((10..=40).contains(&t.len()));
+            let ((mnx, mny), (mxx, mxy)) = t.bbox().unwrap();
+            assert!(mnx >= lo_x - pad && mny >= lo_y - pad);
+            assert!(mxx <= hi_x + pad && mxy <= hi_y + pad);
+        }
+    }
+
+    #[test]
+    fn porto_points_lie_on_road_grid() {
+        // Road-constrained invariant: with noise disabled, every sampled
+        // point sits on a grid edge, so its lon matches a grid column or its
+        // lat matches a grid row (movement along grid edges is axis-aligned).
+        let mut rng = StdRng::seed_from_u64(4);
+        let clean = GenConfig { count: 20, min_len: 20, max_len: 40, noise_std: 0.0, outlier_prob: 0.0 };
+        let trajs = porto_like(&clean, &mut rng);
+        let (min, max) = PORTO_BBOX;
+        let (cols, rows) = (40usize, 30usize);
+        let step_x = (max.0 - min.0) / (cols - 1) as f64;
+        let step_y = (max.1 - min.1) / (rows - 1) as f64;
+        let on_lattice = |v: f64, lo: f64, step: f64| {
+            let k = ((v - lo) / step).round();
+            (v - (lo + k * step)).abs() < 1e-9
+        };
+        for t in &trajs {
+            for p in t.points() {
+                assert!(
+                    on_lattice(p.lon, min.0, step_x) || on_lattice(p.lat, min.1, step_y),
+                    "point ({}, {}) is off the road grid",
+                    p.lon,
+                    p.lat
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = geolife_like(&cfg(), &mut StdRng::seed_from_u64(7));
+        let b = geolife_like(&cfg(), &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = geolife_like(&cfg(), &mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+}

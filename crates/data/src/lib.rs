@@ -1,0 +1,36 @@
+//! # tmn-data
+//!
+//! Datasets and training-pair sampling for the TMN reproduction.
+//!
+//! The paper evaluates on Geolife (Beijing, human movement) and Porto (taxi
+//! trips). Neither dataset is redistributable here, so this crate provides
+//! *synthetic stand-ins* that preserve the properties the experiments rely
+//! on — spatial extent, trajectory length distribution, free-movement vs
+//! road-constrained contrast, GPS noise — plus the paper's preprocessing
+//! (centre-area and min-length filters, Section V-A1), min-max
+//! normalization, train/test splitting, and both sampling strategies of the
+//! Table IV ablation (TMN's rank sampler and Traj2SimVec's k-d-tree
+//! sampler).
+//!
+//! ```
+//! use tmn_data::{Dataset, DatasetConfig, DatasetKind};
+//!
+//! let ds = Dataset::generate(&DatasetConfig::new(DatasetKind::PortoLike, 50, 7));
+//! assert_eq!(ds.train.len(), 10); // tr = 0.2
+//! assert_eq!(ds.test.len(), 40);
+//! ```
+
+mod dataset;
+pub mod generators;
+pub mod io;
+mod preprocess;
+mod road;
+pub mod sampling;
+pub mod stats;
+
+pub use dataset::{Dataset, DatasetConfig};
+pub use generators::{geolife_like, porto_like, DatasetKind, GenConfig, Mode};
+pub use preprocess::{filter, train_test_split, FilterConfig, Normalizer};
+pub use road::RoadGrid;
+pub use sampling::{rank_weights, AnchorSamples, KdSampler, RankSampler, Sampler};
+pub use stats::{dataset_stats, length_histogram, DatasetStats};

@@ -1,0 +1,181 @@
+//! Preprocessing mirroring Section V-A1: keep the city-centre area, drop
+//! trajectories shorter than 10 records, and normalize coordinates for the
+//! models.
+
+use tmn_traj::{Point, Trajectory};
+
+/// Filtering configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FilterConfig {
+    /// Minimum number of records (the paper removes trajectories < 10).
+    pub min_len: usize,
+    /// Optional maximum length (long tails blow up O(n²) ground truth).
+    pub max_len: Option<usize>,
+    /// Keep only trajectories fully inside this bbox (the "centre area").
+    pub bbox: Option<((f64, f64), (f64, f64))>,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        FilterConfig { min_len: 10, max_len: None, bbox: None }
+    }
+}
+
+/// Apply the paper's preprocessing filters; returns the surviving
+/// trajectories (order preserved).
+pub fn filter(trajectories: Vec<Trajectory>, config: &FilterConfig) -> Vec<Trajectory> {
+    trajectories
+        .into_iter()
+        .filter(|t| {
+            if t.len() < config.min_len {
+                return false;
+            }
+            if let Some(maxl) = config.max_len {
+                if t.len() > maxl {
+                    return false;
+                }
+            }
+            if let Some(((lo_x, lo_y), (hi_x, hi_y))) = config.bbox {
+                let Some(((mnx, mny), (mxx, mxy))) = t.bbox() else {
+                    return false;
+                };
+                if mnx < lo_x || mny < lo_y || mxx > hi_x || mxy > hi_y {
+                    return false;
+                }
+            }
+            true
+        })
+        .collect()
+}
+
+/// Min–max normalizer fitted on a dataset; maps coordinates into `[0, 1]²`
+/// so model inputs are scale-free regardless of the city extent.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct Normalizer {
+    pub min: (f64, f64),
+    pub max: (f64, f64),
+}
+
+impl Normalizer {
+    /// Fit on all points of all trajectories.
+    pub fn fit(trajectories: &[Trajectory]) -> Normalizer {
+        let mut min = (f64::INFINITY, f64::INFINITY);
+        let mut max = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for t in trajectories {
+            for p in t.points() {
+                min.0 = min.0.min(p.lon);
+                min.1 = min.1.min(p.lat);
+                max.0 = max.0.max(p.lon);
+                max.1 = max.1.max(p.lat);
+            }
+        }
+        assert!(min.0.is_finite(), "Normalizer::fit: no points");
+        // Guard against degenerate spans.
+        if max.0 - min.0 < 1e-12 {
+            max.0 = min.0 + 1.0;
+        }
+        if max.1 - min.1 < 1e-12 {
+            max.1 = min.1 + 1.0;
+        }
+        Normalizer { min, max }
+    }
+
+    pub fn transform_point(&self, p: Point) -> Point {
+        Point::new(
+            (p.lon - self.min.0) / (self.max.0 - self.min.0),
+            (p.lat - self.min.1) / (self.max.1 - self.min.1),
+        )
+    }
+
+    pub fn transform(&self, t: &Trajectory) -> Trajectory {
+        t.points().iter().map(|&p| self.transform_point(p)).collect()
+    }
+
+    pub fn transform_all(&self, ts: &[Trajectory]) -> Vec<Trajectory> {
+        ts.iter().map(|t| self.transform(t)).collect()
+    }
+
+    pub fn inverse_point(&self, p: Point) -> Point {
+        Point::new(
+            p.lon * (self.max.0 - self.min.0) + self.min.0,
+            p.lat * (self.max.1 - self.min.1) + self.min.1,
+        )
+    }
+}
+
+/// Deterministic train/test split: the first `ratio` fraction trains (the
+/// paper uses tr = 0.2). Shuffle beforehand if order matters.
+pub fn train_test_split(trajectories: &[Trajectory], ratio: f64) -> (Vec<Trajectory>, Vec<Trajectory>) {
+    assert!((0.0..=1.0).contains(&ratio), "split ratio must be in [0, 1]");
+    let n_train = (trajectories.len() as f64 * ratio).round() as usize;
+    let train = trajectories[..n_train].to_vec();
+    let test = trajectories[n_train..].to_vec();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make(len: usize, offset: f64) -> Trajectory {
+        (0..len).map(|i| Point::new(offset + i as f64, offset)).collect()
+    }
+
+    #[test]
+    fn min_len_filter_matches_paper() {
+        let ts = vec![make(5, 0.0), make(10, 0.0), make(20, 0.0)];
+        let kept = filter(ts, &FilterConfig::default());
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().all(|t| t.len() >= 10));
+    }
+
+    #[test]
+    fn bbox_filter_drops_outside() {
+        let ts = vec![make(12, 0.0), make(12, 100.0)];
+        let cfg = FilterConfig { bbox: Some(((-1.0, -1.0), (50.0, 50.0))), ..Default::default() };
+        let kept = filter(ts, &cfg);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn max_len_filter() {
+        let ts = vec![make(12, 0.0), make(200, 0.0)];
+        let cfg = FilterConfig { max_len: Some(100), ..Default::default() };
+        assert_eq!(filter(ts, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn normalizer_maps_to_unit_square() {
+        let ts = vec![make(12, 0.0), make(12, 5.0)];
+        let norm = Normalizer::fit(&ts);
+        for t in norm.transform_all(&ts) {
+            for p in t.points() {
+                assert!((0.0..=1.0).contains(&p.lon) && (0.0..=1.0).contains(&p.lat));
+            }
+        }
+    }
+
+    #[test]
+    fn normalizer_inverse_roundtrips() {
+        let ts = vec![make(12, 3.0)];
+        let norm = Normalizer::fit(&ts);
+        let p = Point::new(7.5, 3.0);
+        let back = norm.inverse_point(norm.transform_point(p));
+        assert!((back.lon - p.lon).abs() < 1e-9 && (back.lat - p.lat).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_ratio() {
+        let ts: Vec<Trajectory> = (0..10).map(|i| make(12, i as f64)).collect();
+        let (train, test) = train_test_split(&ts, 0.2);
+        assert_eq!(train.len(), 2);
+        assert_eq!(test.len(), 8);
+        assert_eq!(train[0], ts[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn normalizer_empty_panics() {
+        let _ = Normalizer::fit(&[]);
+    }
+}

@@ -1,0 +1,214 @@
+//! A synthetic Manhattan-style road grid with A* shortest-path routing.
+//!
+//! Substrate for the Porto-like generator: taxi trajectories are
+//! road-constrained, so routes are shortest paths on a perturbed grid
+//! network rather than free-space curves.
+
+use rand::Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use tmn_traj::Point;
+
+/// A rectangular grid road network over a bounding box.
+pub struct RoadGrid {
+    cols: usize,
+    rows: usize,
+    min: (f64, f64),
+    step: (f64, f64),
+    /// Multiplicative weight per node (models congestion); edge cost is the
+    /// mean of its endpoints' weights times geometric length.
+    weights: Vec<f64>,
+}
+
+#[derive(PartialEq)]
+struct QueueItem {
+    cost: f64,
+    node: usize,
+}
+
+impl Eq for QueueItem {}
+
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl RoadGrid {
+    /// Build a `cols x rows` grid spanning `[min, max]`, with per-node
+    /// congestion weights in `[1, 1 + jitter]`.
+    pub fn new(
+        cols: usize,
+        rows: usize,
+        min: (f64, f64),
+        max: (f64, f64),
+        jitter: f64,
+        rng: &mut impl Rng,
+    ) -> RoadGrid {
+        assert!(cols >= 2 && rows >= 2, "RoadGrid: need at least a 2x2 grid");
+        assert!(max.0 > min.0 && max.1 > min.1, "RoadGrid: degenerate bbox");
+        let step = ((max.0 - min.0) / (cols - 1) as f64, (max.1 - min.1) / (rows - 1) as f64);
+        let weights = (0..cols * rows).map(|_| 1.0 + rng.gen_range(0.0..jitter.max(1e-9))).collect();
+        RoadGrid { cols, rows, min, step, weights }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Coordinates of a node.
+    pub fn node_point(&self, node: usize) -> Point {
+        let (c, r) = (node % self.cols, node / self.cols);
+        Point::new(self.min.0 + c as f64 * self.step.0, self.min.1 + r as f64 * self.step.1)
+    }
+
+    /// The grid node nearest to `p` (clamped into the bbox).
+    pub fn nearest_node(&self, p: Point) -> usize {
+        let c = ((p.lon - self.min.0) / self.step.0).round().clamp(0.0, (self.cols - 1) as f64);
+        let r = ((p.lat - self.min.1) / self.step.1).round().clamp(0.0, (self.rows - 1) as f64);
+        r as usize * self.cols + c as usize
+    }
+
+    fn neighbours(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        let (c, r) = (node % self.cols, node / self.cols);
+        let mut out = [usize::MAX; 4];
+        let mut n = 0;
+        if c > 0 {
+            out[n] = node - 1;
+            n += 1;
+        }
+        if c + 1 < self.cols {
+            out[n] = node + 1;
+            n += 1;
+        }
+        if r > 0 {
+            out[n] = node - self.cols;
+            n += 1;
+        }
+        if r + 1 < self.rows {
+            out[n] = node + self.cols;
+            n += 1;
+        }
+        out.into_iter().take(n)
+    }
+
+    fn edge_cost(&self, a: usize, b: usize) -> f64 {
+        let geo = self.node_point(a).dist(&self.node_point(b));
+        geo * 0.5 * (self.weights[a] + self.weights[b])
+    }
+
+    /// A* shortest path between two nodes; returns the node sequence
+    /// (inclusive of both endpoints), or `None` if unreachable (cannot
+    /// happen on a connected grid, but kept for API honesty).
+    pub fn shortest_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        assert!(from < self.num_nodes() && to < self.num_nodes(), "node out of range");
+        let target = self.node_point(to);
+        let h = |n: usize| self.node_point(n).dist(&target);
+        let mut dist = vec![f64::INFINITY; self.num_nodes()];
+        let mut prev = vec![usize::MAX; self.num_nodes()];
+        let mut heap = BinaryHeap::new();
+        dist[from] = 0.0;
+        heap.push(QueueItem { cost: h(from), node: from });
+        while let Some(QueueItem { cost, node }) = heap.pop() {
+            if node == to {
+                break;
+            }
+            if cost - h(node) > dist[node] + 1e-12 {
+                continue; // stale entry
+            }
+            for nb in self.neighbours(node) {
+                let nd = dist[node] + self.edge_cost(node, nb);
+                if nd < dist[nb] {
+                    dist[nb] = nd;
+                    prev[nb] = node;
+                    heap.push(QueueItem { cost: nd + h(nb), node: nb });
+                }
+            }
+        }
+        if dist[to].is_infinite() {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = prev[cur];
+            if cur == usize::MAX {
+                return None;
+            }
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid() -> RoadGrid {
+        let mut rng = StdRng::seed_from_u64(1);
+        RoadGrid::new(10, 8, (0.0, 0.0), (9.0, 7.0), 0.1, &mut rng)
+    }
+
+    #[test]
+    fn node_points_span_bbox() {
+        let g = grid();
+        assert_eq!(g.node_point(0), Point::new(0.0, 0.0));
+        assert_eq!(g.node_point(g.num_nodes() - 1), Point::new(9.0, 7.0));
+    }
+
+    #[test]
+    fn nearest_node_roundtrip() {
+        let g = grid();
+        for node in [0, 5, 37, 79] {
+            assert_eq!(g.nearest_node(g.node_point(node)), node);
+        }
+    }
+
+    #[test]
+    fn nearest_node_clamps_outside() {
+        let g = grid();
+        assert_eq!(g.nearest_node(Point::new(-100.0, -100.0)), 0);
+        assert_eq!(g.nearest_node(Point::new(100.0, 100.0)), g.num_nodes() - 1);
+    }
+
+    #[test]
+    fn shortest_path_connects_endpoints() {
+        let g = grid();
+        let path = g.shortest_path(0, g.num_nodes() - 1).unwrap();
+        assert_eq!(*path.first().unwrap(), 0);
+        assert_eq!(*path.last().unwrap(), g.num_nodes() - 1);
+        // Consecutive nodes are grid neighbours.
+        for w in path.windows(2) {
+            let manhattan = (w[0] % 10).abs_diff(w[1] % 10) + (w[0] / 10).abs_diff(w[1] / 10);
+            assert_eq!(manhattan, 1);
+        }
+        // At least Manhattan-length long: 9 + 7 hops.
+        assert!(path.len() >= 17);
+    }
+
+    #[test]
+    fn path_to_self_is_single_node() {
+        let g = grid();
+        assert_eq!(g.shortest_path(11, 11).unwrap(), vec![11]);
+    }
+
+    #[test]
+    fn path_cost_no_worse_than_detour() {
+        // With low jitter, the A* path length should be near-minimal: number
+        // of hops equals the Manhattan distance when weights are mild.
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = RoadGrid::new(6, 6, (0.0, 0.0), (5.0, 5.0), 0.01, &mut rng);
+        let path = g.shortest_path(0, 35).unwrap();
+        assert_eq!(path.len(), 11); // 5 + 5 hops + start
+    }
+}

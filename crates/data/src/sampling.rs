@@ -1,0 +1,232 @@
+//! Training-pair sampling strategies (Section IV-C).
+//!
+//! - [`RankSampler`] — TMN's method: draw `2k` random candidates per anchor,
+//!   sort them by true distance, the closest `k` become near samples and the
+//!   farthest `k` far samples. Rank weights follow Eq. 14:
+//!   `[2n/(n²+n), 2(n−1)/(n²+n), .., 2/(n²+n)]` (they sum to 1).
+//! - [`KdSampler`] — Traj2SimVec's method: simplify trajectories, store them
+//!   in a k-d tree, and always take the anchor's `k` nearest tree neighbours
+//!   as near samples (the TMN-kd ablation of Table IV).
+
+use rand::seq::SliceRandom;
+use tmn_index::KdTree;
+use tmn_traj::{DistanceMatrix, Trajectory};
+
+/// Near/far training samples for one anchor, with per-sample loss weights.
+#[derive(Debug, Clone)]
+pub struct AnchorSamples {
+    pub anchor: usize,
+    /// `(train_index, weight)`, most similar first.
+    pub near: Vec<(usize, f32)>,
+    /// `(train_index, weight)`, most similar first.
+    pub far: Vec<(usize, f32)>,
+}
+
+impl AnchorSamples {
+    /// All `(anchor, sample, weight)` pairs, near then far.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        self.near
+            .iter()
+            .chain(self.far.iter())
+            .map(move |&(s, w)| (self.anchor, s, w))
+    }
+}
+
+/// Eq. 14's rank weights for a list of `n` samples sorted by similarity
+/// (descending): `w_i = 2(n−i)/(n²+n)`; the nearest gets the largest weight.
+pub fn rank_weights(n: usize) -> Vec<f32> {
+    let denom = (n * n + n) as f32;
+    (0..n).map(|i| 2.0 * (n - i) as f32 / denom).collect()
+}
+
+/// A strategy producing near/far samples for an anchor in the training set.
+pub trait Sampler {
+    /// `k` near + `k` far samples for `anchor`; `dmat` is the ground-truth
+    /// distance matrix over the training set.
+    fn sample(&self, anchor: usize, k: usize, dmat: &DistanceMatrix, rng: &mut dyn rand::RngCore)
+        -> AnchorSamples;
+
+    fn name(&self) -> &'static str;
+}
+
+/// TMN's random-rank sampling (Section IV-C).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RankSampler;
+
+impl Sampler for RankSampler {
+    fn sample(
+        &self,
+        anchor: usize,
+        k: usize,
+        dmat: &DistanceMatrix,
+        rng: &mut dyn rand::RngCore,
+    ) -> AnchorSamples {
+        let n = dmat.len();
+        assert!(anchor < n, "anchor out of range");
+        let mut candidates: Vec<usize> = (0..n).filter(|&i| i != anchor).collect();
+        candidates.shuffle(rng);
+        let take = (2 * k).min(candidates.len());
+        let mut chosen = candidates[..take].to_vec();
+        let row = dmat.row(anchor);
+        chosen.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap().then(a.cmp(&b)));
+        let half = chosen.len() / 2;
+        let near_idx = &chosen[..half.min(k)];
+        let far_idx = &chosen[chosen.len() - half.min(k)..];
+        let wn = rank_weights(near_idx.len());
+        let wf = rank_weights(far_idx.len());
+        AnchorSamples {
+            anchor,
+            near: near_idx.iter().copied().zip(wn).collect(),
+            far: far_idx.iter().copied().zip(wf).collect(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "rank"
+    }
+}
+
+/// Traj2SimVec's k-d-tree sampling: near samples are always the anchor's
+/// `k` nearest neighbours of the *simplified* trajectories, independent of
+/// the distance metric.
+pub struct KdSampler {
+    tree: KdTree,
+    vectors: Vec<Vec<f32>>,
+}
+
+impl KdSampler {
+    /// Build over the training trajectories, each simplified to
+    /// `simplify_to` points (Traj2SimVec compresses evenly before indexing).
+    pub fn build(train: &[Trajectory], simplify_to: usize) -> KdSampler {
+        let vectors: Vec<Vec<f32>> =
+            train.iter().map(|t| t.simplify(simplify_to).to_features()).collect();
+        KdSampler { tree: KdTree::build(vectors.clone()), vectors }
+    }
+}
+
+impl Sampler for KdSampler {
+    fn sample(
+        &self,
+        anchor: usize,
+        k: usize,
+        dmat: &DistanceMatrix,
+        rng: &mut dyn rand::RngCore,
+    ) -> AnchorSamples {
+        let n = dmat.len();
+        assert_eq!(n, self.vectors.len(), "KdSampler built over a different training set");
+        // k+1 because the anchor is its own nearest neighbour in the tree.
+        let near_idx: Vec<usize> = self
+            .tree
+            .knn(&self.vectors[anchor], k + 1)
+            .into_iter()
+            .map(|(i, _)| i)
+            .filter(|&i| i != anchor)
+            .take(k)
+            .collect();
+        // Far samples: uniform random among the rest (Traj2SimVec pairs the
+        // kd-near samples with random negatives).
+        let mut rest: Vec<usize> =
+            (0..n).filter(|&i| i != anchor && !near_idx.contains(&i)).collect();
+        rest.shuffle(rng);
+        let mut far_idx: Vec<usize> = rest.into_iter().take(k).collect();
+        let row = dmat.row(anchor);
+        let mut near_sorted = near_idx;
+        near_sorted.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap().then(a.cmp(&b)));
+        far_idx.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap().then(a.cmp(&b)));
+        let wn = rank_weights(near_sorted.len());
+        let wf = rank_weights(far_idx.len());
+        AnchorSamples {
+            anchor,
+            near: near_sorted.into_iter().zip(wn).collect(),
+            far: far_idx.into_iter().zip(wf).collect(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "kdtree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tmn_traj::metrics::{Metric, MetricParams};
+    use tmn_traj::Point;
+
+    fn line(offset: f64) -> Trajectory {
+        (0..12).map(|i| Point::new(i as f64 * 0.1, offset)).collect()
+    }
+
+    fn setup(n: usize) -> (Vec<Trajectory>, DistanceMatrix) {
+        let trajs: Vec<Trajectory> = (0..n).map(|i| line(i as f64 * 0.05)).collect();
+        let dmat = DistanceMatrix::compute(&trajs, Metric::Dtw, &MetricParams::default(), 1);
+        (trajs, dmat)
+    }
+
+    #[test]
+    fn rank_weights_sum_to_one_and_decrease() {
+        for n in [1usize, 5, 20] {
+            let w = rank_weights(n);
+            let s: f32 = w.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "n={n}: sum {s}");
+            for pair in w.windows(2) {
+                assert!(pair[0] > pair[1]);
+            }
+        }
+        assert!(rank_weights(0).is_empty());
+    }
+
+    #[test]
+    fn rank_sampler_near_always_closer_than_far() {
+        let (_, dmat) = setup(40);
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = RankSampler.sample(3, 5, &dmat, &mut rng);
+        assert_eq!(s.near.len(), 5);
+        assert_eq!(s.far.len(), 5);
+        let row = dmat.row(3);
+        let max_near = s.near.iter().map(|&(i, _)| row[i]).fold(0.0, f64::max);
+        let min_far = s.far.iter().map(|&(i, _)| row[i]).fold(f64::INFINITY, f64::min);
+        assert!(max_near <= min_far, "invariant of Section IV-C violated");
+        // Anchor never samples itself.
+        assert!(s.pairs().all(|(_, j, _)| j != 3));
+    }
+
+    #[test]
+    fn rank_sampler_handles_tiny_training_set() {
+        let (_, dmat) = setup(4);
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = RankSampler.sample(0, 5, &dmat, &mut rng);
+        // Only 3 candidates exist; the sampler degrades gracefully.
+        assert!(s.near.len() + s.far.len() <= 3 + 1);
+        assert!(!s.near.is_empty());
+    }
+
+    #[test]
+    fn kd_sampler_near_is_spatially_nearest() {
+        let (trajs, dmat) = setup(30);
+        let sampler = KdSampler::build(&trajs, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = sampler.sample(10, 5, &dmat, &mut rng);
+        assert_eq!(s.near.len(), 5);
+        // Trajectories are parallel lines offset by index, so kd-nearest of
+        // anchor 10 must be {8, 9, 11, 12} plus one of the tied {7, 13}.
+        for &(i, _) in &s.near {
+            assert!((7..=13).contains(&i) && i != 10, "unexpected near sample {i}");
+        }
+        // Far samples don't overlap near samples.
+        for &(f, _) in &s.far {
+            assert!(!s.near.iter().any(|&(n, _)| n == f));
+        }
+    }
+
+    #[test]
+    fn samples_are_deterministic_given_seed() {
+        let (_, dmat) = setup(20);
+        let a = RankSampler.sample(2, 4, &dmat, &mut StdRng::seed_from_u64(9));
+        let b = RankSampler.sample(2, 4, &dmat, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.near.iter().map(|x| x.0).collect::<Vec<_>>(),
+                   b.near.iter().map(|x| x.0).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,148 @@
+//! Dataset statistics: quantify the properties the synthetic generators
+//! must preserve from the real datasets (length distribution, spatial
+//! extent, step-length/speed profile, heading changes). DESIGN.md's
+//! substitution argument is checked with these numbers.
+
+use serde::Serialize;
+use tmn_traj::Trajectory;
+
+/// Summary statistics of a trajectory dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct DatasetStats {
+    pub count: usize,
+    pub len_min: usize,
+    pub len_max: usize,
+    pub len_mean: f64,
+    pub len_p50: usize,
+    /// Mean step length (distance between consecutive points), a proxy for
+    /// speed at a fixed sampling interval.
+    pub step_mean: f64,
+    pub step_p90: f64,
+    /// Mean absolute turning angle in radians (0 = perfectly straight);
+    /// distinguishes road-constrained from free movement.
+    pub turn_mean: f64,
+    /// Dataset bounding box.
+    pub bbox: ((f64, f64), (f64, f64)),
+}
+
+fn percentile<T: Copy + PartialOrd>(sorted: &[T], p: f64) -> T {
+    debug_assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Compute summary statistics; panics on an empty dataset.
+pub fn dataset_stats(trajs: &[Trajectory]) -> DatasetStats {
+    assert!(!trajs.is_empty(), "dataset_stats: empty dataset");
+    let mut lens: Vec<usize> = trajs.iter().map(|t| t.len()).collect();
+    lens.sort_unstable();
+    let len_mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+
+    let mut steps: Vec<f64> = Vec::new();
+    let mut turn_acc = 0.0f64;
+    let mut turn_n = 0usize;
+    let mut min = (f64::INFINITY, f64::INFINITY);
+    let mut max = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for t in trajs {
+        let pts = t.points();
+        for p in pts {
+            min.0 = min.0.min(p.lon);
+            min.1 = min.1.min(p.lat);
+            max.0 = max.0.max(p.lon);
+            max.1 = max.1.max(p.lat);
+        }
+        for w in pts.windows(2) {
+            steps.push(w[0].dist(&w[1]));
+        }
+        for w in pts.windows(3) {
+            let v1 = (w[1].lon - w[0].lon, w[1].lat - w[0].lat);
+            let v2 = (w[2].lon - w[1].lon, w[2].lat - w[1].lat);
+            let n1 = (v1.0 * v1.0 + v1.1 * v1.1).sqrt();
+            let n2 = (v2.0 * v2.0 + v2.1 * v2.1).sqrt();
+            if n1 > 1e-12 && n2 > 1e-12 {
+                let cos = ((v1.0 * v2.0 + v1.1 * v2.1) / (n1 * n2)).clamp(-1.0, 1.0);
+                turn_acc += cos.acos();
+                turn_n += 1;
+            }
+        }
+    }
+    steps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let step_mean = if steps.is_empty() { 0.0 } else { steps.iter().sum::<f64>() / steps.len() as f64 };
+    DatasetStats {
+        count: trajs.len(),
+        len_min: lens[0],
+        len_max: *lens.last().unwrap(),
+        len_mean,
+        len_p50: percentile(&lens, 0.5),
+        step_mean,
+        step_p90: if steps.is_empty() { 0.0 } else { percentile(&steps, 0.9) },
+        turn_mean: if turn_n == 0 { 0.0 } else { turn_acc / turn_n as f64 },
+        bbox: (min, max),
+    }
+}
+
+/// A fixed-bin histogram over trajectory lengths.
+pub fn length_histogram(trajs: &[Trajectory], bins: usize, max_len: usize) -> Vec<usize> {
+    assert!(bins > 0 && max_len > 0);
+    let mut hist = vec![0usize; bins];
+    for t in trajs {
+        let b = (t.len() * bins / (max_len + 1)).min(bins - 1);
+        hist[b] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{geolife_like, porto_like, GenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tmn_traj::Point;
+
+    fn line(n: usize) -> Trajectory {
+        (0..n).map(|i| Point::new(i as f64, 0.0)).collect()
+    }
+
+    #[test]
+    fn stats_of_simple_lines() {
+        let s = dataset_stats(&[line(5), line(9)]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.len_min, 5);
+        assert_eq!(s.len_max, 9);
+        assert_eq!(s.len_mean, 7.0);
+        assert_eq!(s.step_mean, 1.0);
+        assert_eq!(s.turn_mean, 0.0); // straight lines
+        assert_eq!(s.bbox, ((0.0, 0.0), (8.0, 0.0)));
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_dataset() {
+        let ds = vec![line(5), line(9), line(20), line(20)];
+        let h = length_histogram(&ds, 4, 20);
+        assert_eq!(h.iter().sum::<usize>(), 4);
+        assert_eq!(h[3], 2); // the two length-20 lines
+    }
+
+    #[test]
+    fn generators_have_documented_contrast() {
+        // The Porto-like generator produces road-constrained (grid) motion:
+        // its 90-degree-turn style yields a *different* turning profile from
+        // Geolife-like free movement, and the bboxes sit in different cities.
+        let cfg = GenConfig { count: 40, min_len: 20, max_len: 40, noise_std: 0.0, outlier_prob: 0.0 };
+        let geo = dataset_stats(&geolife_like(&cfg, &mut StdRng::seed_from_u64(1)));
+        let porto = dataset_stats(&porto_like(&cfg, &mut StdRng::seed_from_u64(1)));
+        assert!(geo.bbox.0 .0 > 100.0, "Geolife-like sits near Beijing lon ~116");
+        assert!(porto.bbox.0 .0 < 0.0, "Porto-like sits near lon ~-8.6");
+        assert!((geo.turn_mean - porto.turn_mean).abs() > 1e-3);
+        // Length bounds respected.
+        assert!(geo.len_min >= 20 && geo.len_max <= 40);
+        assert!(porto.len_min >= 20 && porto.len_max <= 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_panics() {
+        let _ = dataset_stats(&[]);
+    }
+}

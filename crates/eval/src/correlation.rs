@@ -1,0 +1,131 @@
+//! Rank-correlation metrics between predicted and true distance rankings —
+//! finer-grained quality measures than top-k overlap, common in similarity
+//! learning evaluations.
+
+/// Rank positions (average ranks for ties).
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap().then(a.cmp(&b)));
+    let mut out = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        // Group ties.
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation coefficient in `[-1, 1]`.
+///
+/// Returns `None` when either input is constant (undefined correlation).
+pub fn spearman(pred: &[f64], truth: &[f64]) -> Option<f64> {
+    assert_eq!(pred.len(), truth.len(), "spearman: length mismatch");
+    if pred.len() < 2 {
+        return None;
+    }
+    let (rp, rt) = (ranks(pred), ranks(truth));
+    pearson(&rp, &rt)
+}
+
+/// Pearson correlation of two equal-length samples.
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "pearson: length mismatch");
+    let n = x.len() as f64;
+    if x.len() < 2 {
+        return None;
+    }
+    let (mx, my) = (x.iter().sum::<f64>() / n, y.iter().sum::<f64>() / n);
+    let (mut sxy, mut sxx, mut syy) = (0.0f64, 0.0f64, 0.0f64);
+    for (a, b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Kendall's tau-a (concordant minus discordant pair fraction), O(n²).
+pub fn kendall_tau(pred: &[f64], truth: &[f64]) -> Option<f64> {
+    assert_eq!(pred.len(), truth.len(), "kendall_tau: length mismatch");
+    let n = pred.len();
+    if n < 2 {
+        return None;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dp = pred[i] - pred[j];
+            let dt = truth[i] - truth[j];
+            let s = dp * dt;
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let total = (n * (n - 1) / 2) as f64;
+    Some((concordant - discordant) as f64 / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement_is_one() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert!((spearman(&x, &x).unwrap() - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&x, &x).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversal_is_minus_one() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = vec![4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_transform_preserves_spearman() {
+        let x = vec![0.1, 0.5, 0.9, 2.0, 7.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_input_is_none() {
+        let x = vec![1.0, 1.0, 1.0];
+        let y = vec![1.0, 2.0, 3.0];
+        assert!(spearman(&x, &y).is_none());
+        assert!(pearson(&x, &y).is_none());
+    }
+
+    #[test]
+    fn ties_get_average_ranks() {
+        let r = ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn known_partial_correlation() {
+        // One swap in a 4-ranking: tau = (5 - 1) / 6 = 2/3.
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = vec![2.0, 1.0, 3.0, 4.0];
+        assert!((kendall_tau(&x, &y).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,118 @@
+//! Multi-threaded evaluation. The autograd graph is intentionally
+//! single-threaded (`Tensor` is `!Send`), so parallel evaluation rebuilds
+//! the model per worker from a weight snapshot and splits the queries.
+
+use tmn_core::{ModelConfig, ModelKind};
+use tmn_traj::Trajectory;
+
+/// Predicted distance rows computed on `threads` workers, each owning a
+/// model clone restored from `snapshot` (see `ParamSet::snapshot`).
+///
+/// Produces exactly the same rows as
+/// [`predicted_distance_rows`](crate::predicted_distance_rows) on a single
+/// thread — inference is deterministic given the weights.
+pub fn predicted_distance_rows_parallel(
+    kind: ModelKind,
+    config: &ModelConfig,
+    snapshot: &[(String, Vec<usize>, Vec<f32>)],
+    trajs: &[Trajectory],
+    queries: &[usize],
+    batch_size: usize,
+    threads: usize,
+) -> Vec<Vec<f64>> {
+    let threads = threads.max(1).min(queries.len().max(1));
+    if threads <= 1 {
+        let model = kind.build(config);
+        model.params().restore(snapshot);
+        return crate::predicted_distance_rows(model.as_ref(), trajs, queries, batch_size);
+    }
+    let mut rows: Vec<Option<Vec<f64>>> = vec![None; queries.len()];
+    // Round-robin partition keeps per-thread work balanced; workers send
+    // their rows back over a channel keyed by thread id.
+    crossbeam::thread::scope(|s| {
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<Vec<f64>>)>();
+        for t in 0..threads {
+            let tx = tx.clone();
+            let my_queries: Vec<usize> =
+                queries.iter().copied().skip(t).step_by(threads).collect();
+            s.spawn(move |_| {
+                let model = kind.build(config);
+                model.params().restore(snapshot);
+                let out = crate::predicted_distance_rows(model.as_ref(), trajs, &my_queries, batch_size);
+                tx.send((t, out)).expect("main thread alive");
+            });
+        }
+        drop(tx);
+        for (t, out) in rx {
+            for (slot, row) in (t..queries.len()).step_by(threads).zip(out) {
+                rows[slot] = Some(row);
+            }
+        }
+    })
+    .expect("evaluation worker panicked");
+    rows.into_iter().map(|r| r.expect("all query rows filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmn_traj::Point;
+
+    fn trajs(n: usize) -> Vec<Trajectory> {
+        (0..n)
+            .map(|i| {
+                let off = i as f64 * 0.06;
+                (0..8 + i % 4).map(|t| Point::new(0.1 * t as f64, off)).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_independent_model() {
+        let cfg = ModelConfig { dim: 8, seed: 7 };
+        let model = ModelKind::Srn.build(&cfg);
+        let snap = model.params().snapshot();
+        let ts = trajs(12);
+        let queries: Vec<usize> = (0..7).collect();
+        let serial = crate::predicted_distance_rows(model.as_ref(), &ts, &queries, 4);
+        let parallel = predicted_distance_rows_parallel(
+            ModelKind::Srn, &cfg, &snap, &ts, &queries, 4, 2,
+        );
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            for (x, y) in s.iter().zip(p) {
+                assert!((x - y).abs() < 1e-9, "parallel eval diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_tmn() {
+        let cfg = ModelConfig { dim: 8, seed: 9 };
+        let model = ModelKind::Tmn.build(&cfg);
+        let snap = model.params().snapshot();
+        let ts = trajs(10);
+        let queries: Vec<usize> = (0..5).collect();
+        let serial = crate::predicted_distance_rows(model.as_ref(), &ts, &queries, 4);
+        let parallel =
+            predicted_distance_rows_parallel(ModelKind::Tmn, &cfg, &snap, &ts, &queries, 4, 3);
+        for (s, p) in serial.iter().zip(&parallel) {
+            for (x, y) in s.iter().zip(p) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let cfg = ModelConfig { dim: 8, seed: 10 };
+        let model = ModelKind::TmnNm.build(&cfg);
+        let snap = model.params().snapshot();
+        let ts = trajs(6);
+        let rows = predicted_distance_rows_parallel(
+            ModelKind::TmnNm, &cfg, &snap, &ts, &[1, 3], 4, 1,
+        );
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0][1] < 1e-6);
+    }
+}

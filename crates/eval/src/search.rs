@@ -1,0 +1,153 @@
+//! Encoding test trajectories and computing predicted distances.
+//!
+//! Independent models (SRN, NeuTraj, T3S, Traj2SimVec, TMN-NM) encode every
+//! trajectory once; queries then cost one Euclidean distance per candidate.
+//! TMN's representations are pair-dependent, so a query re-encodes
+//! (query, candidate) pairs — the paper's Table III reflects exactly this
+//! cost asymmetry (0.072 s vs 0.00059 s per-trajectory inference).
+
+use tmn_autograd::{no_grad, ops};
+use tmn_core::{PairBatch, PairModel};
+use tmn_traj::Trajectory;
+
+/// Euclidean distance between two embedding vectors.
+pub fn embedding_distance(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| ((x - y) * (x - y)) as f64).sum::<f64>().sqrt()
+}
+
+/// Encode each trajectory independently (self-paired batch), returning one
+/// `d`-dim embedding per trajectory. Intended for models with
+/// `is_pair_dependent() == false`.
+pub fn encode_all(model: &dyn PairModel, trajs: &[Trajectory], batch_size: usize) -> Vec<Vec<f32>> {
+    assert!(batch_size > 0, "encode_all: batch_size must be positive");
+    let d = model.dim();
+    let mut out = Vec::with_capacity(trajs.len());
+    no_grad(|| {
+        for chunk in trajs.chunks(batch_size) {
+            let refs: Vec<&Trajectory> = chunk.iter().collect();
+            let batch = PairBatch::build(&refs, &refs);
+            let enc = model.encode_pairs(&batch);
+            let last = ops::gather_time(&enc.out_a, &batch.a.last_idx);
+            let data = last.to_vec();
+            for row in 0..chunk.len() {
+                out.push(data[row * d..(row + 1) * d].to_vec());
+            }
+        }
+    });
+    out
+}
+
+/// Predicted distances from one query to every candidate for a
+/// pair-dependent model: encodes `(query, candidate)` pairs in chunks.
+pub fn pairwise_query_distances(
+    model: &dyn PairModel,
+    query: &Trajectory,
+    candidates: &[Trajectory],
+    batch_size: usize,
+) -> Vec<f64> {
+    assert!(batch_size > 0, "pairwise_query_distances: batch_size must be positive");
+    let d = model.dim();
+    let mut out = Vec::with_capacity(candidates.len());
+    no_grad(|| {
+        for chunk in candidates.chunks(batch_size) {
+            let queries: Vec<&Trajectory> = chunk.iter().map(|_| query).collect();
+            let cands: Vec<&Trajectory> = chunk.iter().collect();
+            let batch = PairBatch::build(&queries, &cands);
+            let enc = model.encode_pairs(&batch);
+            let qa = ops::gather_time(&enc.out_a, &batch.a.last_idx).to_vec();
+            let cb = ops::gather_time(&enc.out_b, &batch.b.last_idx).to_vec();
+            for row in 0..chunk.len() {
+                out.push(embedding_distance(&qa[row * d..(row + 1) * d], &cb[row * d..(row + 1) * d]));
+            }
+        }
+    });
+    out
+}
+
+/// Predicted distance rows for a set of query indices against the whole
+/// `trajs` database, dispatching on pair dependence.
+pub fn predicted_distance_rows(
+    model: &dyn PairModel,
+    trajs: &[Trajectory],
+    queries: &[usize],
+    batch_size: usize,
+) -> Vec<Vec<f64>> {
+    if model.is_pair_dependent() {
+        queries
+            .iter()
+            .map(|&q| pairwise_query_distances(model, &trajs[q], trajs, batch_size))
+            .collect()
+    } else {
+        let emb = encode_all(model, trajs, batch_size);
+        queries
+            .iter()
+            .map(|&q| emb.iter().map(|e| embedding_distance(&emb[q], e)).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmn_core::{ModelConfig, ModelKind};
+    use tmn_traj::Point;
+
+    fn trajs(n: usize) -> Vec<Trajectory> {
+        (0..n)
+            .map(|i| {
+                let off = i as f64 * 0.07;
+                (0..6 + i % 5).map(|t| Point::new(0.1 * t as f64, off)).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_all_shapes() {
+        let model = ModelKind::Srn.build(&ModelConfig { dim: 8, seed: 1 });
+        let ts = trajs(7);
+        let emb = encode_all(model.as_ref(), &ts, 3);
+        assert_eq!(emb.len(), 7);
+        assert!(emb.iter().all(|e| e.len() == 8));
+    }
+
+    #[test]
+    fn encode_all_batch_invariant() {
+        // Same embeddings regardless of batch size (padding must not leak).
+        let model = ModelKind::TmnNm.build(&ModelConfig { dim: 8, seed: 2 });
+        let ts = trajs(5);
+        let e1 = encode_all(model.as_ref(), &ts, 1);
+        let e5 = encode_all(model.as_ref(), &ts, 5);
+        for (a, b) in e1.iter().zip(&e5) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-5, "batch size changed embeddings");
+            }
+        }
+    }
+
+    #[test]
+    fn self_distance_is_zero() {
+        let model = ModelKind::Srn.build(&ModelConfig { dim: 8, seed: 3 });
+        let ts = trajs(4);
+        let rows = predicted_distance_rows(model.as_ref(), &ts, &[0, 2], 4);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0][0] < 1e-6);
+        assert!(rows[1][2] < 1e-6);
+    }
+
+    #[test]
+    fn pair_dependent_path_used_for_tmn() {
+        let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 4 });
+        let ts = trajs(4);
+        let rows = predicted_distance_rows(model.as_ref(), &ts, &[1], 2);
+        assert_eq!(rows[0].len(), 4);
+        // Self pair: identical inputs on both sides -> identical outputs.
+        assert!(rows[0][1] < 1e-5, "self distance {}", rows[0][1]);
+        assert!(rows[0].iter().all(|d| d.is_finite()));
+    }
+
+    #[test]
+    fn embedding_distance_basics() {
+        assert_eq!(embedding_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(embedding_distance(&[1.0], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Timing harness for the efficiency study (Table III): exact-metric
+//! computation time, model training time per epoch, per-trajectory
+//! inference time, and per-pair similarity computation time.
+
+use std::time::Instant;
+use tmn_core::PairModel;
+use tmn_traj::metrics::{Metric, MetricParams};
+use tmn_traj::Trajectory;
+
+/// One row of the efficiency table.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct EfficiencyRow {
+    pub method: String,
+    /// Seconds per training epoch (None for exact metrics).
+    pub training_s: Option<f64>,
+    /// Seconds to encode one trajectory (None for exact metrics).
+    pub inference_s: Option<f64>,
+    /// Seconds to compute one (pairwise) similarity.
+    pub computation_s: f64,
+}
+
+/// Wall-clock seconds to compute all pairwise distances of `trajs` under
+/// `metric` (the exact-metric "Computation" entry of Table III).
+pub fn time_exact_pairwise(trajs: &[Trajectory], metric: Metric, params: &MetricParams) -> f64 {
+    let start = Instant::now();
+    let mut acc = 0.0f64;
+    for (i, a) in trajs.iter().enumerate() {
+        for b in trajs.iter().skip(i + 1) {
+            acc += metric.distance(a, b, params);
+        }
+    }
+    // Keep the accumulation observable so the loop cannot be optimized out.
+    std::hint::black_box(acc);
+    start.elapsed().as_secs_f64()
+}
+
+/// Mean seconds to encode one trajectory with `model` (batched encoding,
+/// amortized). For pair-dependent models this measures self-paired encoding,
+/// matching how the paper reports TMN's per-trajectory inference cost.
+pub fn time_inference_per_trajectory(
+    model: &dyn PairModel,
+    trajs: &[Trajectory],
+    batch_size: usize,
+) -> f64 {
+    let start = Instant::now();
+    let emb = crate::search::encode_all(model, trajs, batch_size);
+    std::hint::black_box(&emb);
+    start.elapsed().as_secs_f64() / trajs.len().max(1) as f64
+}
+
+/// Mean seconds to compute the Euclidean similarity of two `d`-dim
+/// embeddings (the learning-based "Computation" entry; effectively O(d)).
+pub fn time_embedding_distance(dim: usize, reps: usize) -> f64 {
+    let a: Vec<f32> = (0..dim).map(|i| i as f32 * 0.01).collect();
+    let b: Vec<f32> = (0..dim).map(|i| i as f32 * 0.02).collect();
+    let start = Instant::now();
+    let mut acc = 0.0f64;
+    for _ in 0..reps.max(1) {
+        acc += crate::search::embedding_distance(&a, &b);
+    }
+    std::hint::black_box(acc);
+    start.elapsed().as_secs_f64() / reps.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmn_core::{ModelConfig, ModelKind};
+    use tmn_traj::Point;
+
+    fn trajs(n: usize, len: usize) -> Vec<Trajectory> {
+        (0..n)
+            .map(|i| (0..len).map(|t| Point::new(0.01 * t as f64, 0.05 * i as f64)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn exact_timing_positive_and_scales() {
+        let small = time_exact_pairwise(&trajs(6, 20), Metric::Dtw, &MetricParams::default());
+        let large = time_exact_pairwise(&trajs(12, 40), Metric::Dtw, &MetricParams::default());
+        assert!(small > 0.0);
+        assert!(large > small, "more work must take longer: {small} vs {large}");
+    }
+
+    #[test]
+    fn inference_timing_positive() {
+        let model = ModelKind::Srn.build(&ModelConfig { dim: 8, seed: 1 });
+        let t = time_inference_per_trajectory(model.as_ref(), &trajs(4, 10), 4);
+        assert!(t > 0.0 && t.is_finite());
+    }
+
+    #[test]
+    fn embedding_distance_is_microscopic() {
+        let t = time_embedding_distance(128, 1000);
+        assert!(t > 0.0);
+        // O(d) distance must be far below a millisecond.
+        assert!(t < 1e-3, "embedding distance took {t}s");
+    }
+}

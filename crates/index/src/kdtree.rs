@@ -1,0 +1,188 @@
+//! A k-d tree over fixed-dimension `f32` vectors.
+//!
+//! Traj2SimVec (Zhang et al., IJCAI-20) simplifies every trajectory into a
+//! fixed number of points and stores the flattened vectors in a k-d tree;
+//! near training samples are then its k nearest neighbours. This module is
+//! that substrate (also reused by tests as a brute-force cross-check for
+//! HNSW).
+
+/// Static k-d tree built once over a dataset.
+pub struct KdTree {
+    dim: usize,
+    /// Points in build order; node indices refer into this.
+    points: Vec<Vec<f32>>,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+struct Node {
+    point: usize, // index into `points`
+    axis: usize,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl KdTree {
+    /// Build from a set of equal-dimension vectors.
+    pub fn build(points: Vec<Vec<f32>>) -> KdTree {
+        let dim = points.first().map(|p| p.len()).unwrap_or(0);
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "KdTree: all points must share dimension {dim}"
+        );
+        let mut tree = KdTree { dim, nodes: Vec::with_capacity(points.len()), points, root: None };
+        let mut order: Vec<usize> = (0..tree.points.len()).collect();
+        tree.root = tree.build_rec(&mut order, 0);
+        tree
+    }
+
+    fn build_rec(&mut self, idx: &mut [usize], depth: usize) -> Option<usize> {
+        if idx.is_empty() {
+            return None;
+        }
+        let axis = depth % self.dim.max(1);
+        idx.sort_by(|&a, &b| {
+            self.points[a][axis]
+                .partial_cmp(&self.points[b][axis])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mid = idx.len() / 2;
+        let point = idx[mid];
+        let (left_idx, rest) = idx.split_at_mut(mid);
+        let right_idx = &mut rest[1..];
+        let left = self.build_rec(left_idx, depth + 1);
+        let right = self.build_rec(right_idx, depth + 1);
+        self.nodes.push(Node { point, axis, left, right });
+        Some(self.nodes.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The `k` nearest neighbours of `query` as `(point_index, distance)`
+    /// sorted ascending by distance.
+    pub fn knn(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+        assert_eq!(query.len(), self.dim, "KdTree: query dimension mismatch");
+        if k == 0 || self.root.is_none() {
+            return Vec::new();
+        }
+        // Bounded max-heap of candidates by distance.
+        let mut heap: Vec<(f32, usize)> = Vec::with_capacity(k + 1);
+        self.search(self.root.unwrap(), query, k, &mut heap);
+        heap.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        heap.into_iter().map(|(d, i)| (i, d.sqrt())).collect()
+    }
+
+    fn search(&self, node: usize, query: &[f32], k: usize, heap: &mut Vec<(f32, usize)>) {
+        let n = &self.nodes[node];
+        let d = dist_sq(query, &self.points[n.point]);
+        if heap.len() < k {
+            heap.push((d, n.point));
+            heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap()); // max first
+        } else if d < heap[0].0 {
+            heap[0] = (d, n.point);
+            heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        }
+        let delta = query[n.axis] - self.points[n.point][n.axis];
+        let (near, far) = if delta <= 0.0 { (n.left, n.right) } else { (n.right, n.left) };
+        if let Some(c) = near {
+            self.search(c, query, k, heap);
+        }
+        // Prune the far branch unless the splitting plane is closer than the
+        // current k-th best.
+        if let Some(c) = far {
+            if heap.len() < k || delta * delta < heap[0].0 {
+                self.search(c, query, k, heap);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_knn(points: &[Vec<f32>], q: &[f32], k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..points.len()).collect();
+        idx.sort_by(|&a, &b| {
+            dist_sq(q, &points[a]).partial_cmp(&dist_sq(q, &points[b])).unwrap().then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    #[test]
+    fn exact_match_first() {
+        let pts = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        let tree = KdTree::build(pts);
+        let nn = tree.knn(&[1.0, 1.0], 1);
+        assert_eq!(nn[0].0, 1);
+        assert_eq!(nn[0].1, 0.0);
+    }
+
+    #[test]
+    fn knn_matches_brute_force_random() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let pts: Vec<Vec<f32>> =
+            (0..300).map(|_| (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+        let tree = KdTree::build(pts.clone());
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let got: Vec<usize> = tree.knn(&q, 5).into_iter().map(|(i, _)| i).collect();
+            let want = brute_knn(&pts, &q, 5);
+            // Distances must agree even if equal-distance ties reorder.
+            let gd: Vec<f32> = got.iter().map(|&i| dist_sq(&q, &pts[i])).collect();
+            let wd: Vec<f32> = want.iter().map(|&i| dist_sq(&q, &pts[i])).collect();
+            for (g, w) in gd.iter().zip(&wd) {
+                assert!((g - w).abs() < 1e-6, "kdtree disagrees with brute force");
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_points_returns_all() {
+        let pts = vec![vec![0.0], vec![5.0]];
+        let tree = KdTree::build(pts);
+        assert_eq!(tree.knn(&[1.0], 10).len(), 2);
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        let tree = KdTree::build(Vec::new());
+        assert!(tree.is_empty());
+        let tree2 = KdTree::build(vec![vec![1.0]]);
+        assert!(tree2.knn(&[0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn distances_sorted_ascending() {
+        let pts = vec![vec![0.0], vec![10.0], vec![3.0], vec![-2.0]];
+        let tree = KdTree::build(pts);
+        let nn = tree.knn(&[1.0], 4);
+        for w in nn.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn query_dim_mismatch_panics() {
+        let tree = KdTree::build(vec![vec![0.0, 0.0]]);
+        let _ = tree.knn(&[0.0], 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! # tmn-index
+//!
+//! Vector indexes for the TMN pipeline:
+//!
+//! - [`KdTree`]: exact k-nearest-neighbour search, required by the
+//!   Traj2SimVec baseline's sampling strategy (simplified trajectories in a
+//!   k-d tree; near samples = its k-NN) and by the TMN-kd ablation of
+//!   Table IV.
+//! - [`Hnsw`]: approximate nearest-neighbour graph (Malkov et al.) over the
+//!   learned trajectory embeddings, the index the paper names as
+//!   immediately applicable after embedding (Section I).
+
+mod hnsw;
+mod kdtree;
+
+pub use hnsw::{Hnsw, HnswConfig};
+pub use kdtree::KdTree;

@@ -1,0 +1,92 @@
+//! Property tests for the index crate: kd-tree exactness against brute
+//! force and HNSW recall/ordering invariants under random data.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tmn_index::{Hnsw, HnswConfig, KdTree};
+
+fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn brute_distances(points: &[Vec<f32>], q: &[f32], k: usize) -> Vec<f32> {
+    let mut d: Vec<f32> = points.iter().map(|p| dist_sq(q, p)).collect();
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    d.truncate(k);
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kdtree_knn_distances_match_brute_force(
+        points in prop::collection::vec(
+            prop::collection::vec(-10.0f32..10.0, 3), 1..120),
+        query in prop::collection::vec(-10.0f32..10.0, 3),
+        k in 1usize..12,
+    ) {
+        let tree = KdTree::build(points.clone());
+        let got: Vec<f32> = tree.knn(&query, k).into_iter().map(|(_, d)| d * d).collect();
+        let want = brute_distances(&points, &query, k.min(points.len()));
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-3, "kdtree distance {g} vs brute {w}");
+        }
+    }
+
+    #[test]
+    fn hnsw_results_sorted_and_contain_self(
+        seed in 0u64..200,
+        n in 20usize..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<Vec<f32>> = (0..n)
+            .map(|i| vec![(i % 7) as f32, (i % 11) as f32, (i % 13) as f32])
+            .collect();
+        let mut h = Hnsw::new(3, HnswConfig { m: 8, ef_construction: 60, ef_search: 40 });
+        for p in &points {
+            h.insert(p, &mut rng);
+        }
+        // A stored vector's nearest neighbour at distance 0 must be found.
+        let nn = h.knn(&points[0], 3);
+        prop_assert!(!nn.is_empty());
+        prop_assert_eq!(nn[0].1, 0.0);
+        for w in nn.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn hnsw_larger_ef_never_hurts_recall(
+        seed in 0u64..50,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<Vec<f32>> = (0..200)
+            .map(|i| {
+                let x = ((i * 37 + seed as usize) % 101) as f32 / 101.0;
+                let y = ((i * 53) % 97) as f32 / 97.0;
+                vec![x, y]
+            })
+            .collect();
+        let mut h = Hnsw::new(2, HnswConfig { m: 8, ef_construction: 60, ef_search: 10 });
+        for p in &points {
+            h.insert(p, &mut rng);
+        }
+        let q = vec![0.5f32, 0.5];
+        let exact: Vec<f32> = brute_distances(&points, &q, 10);
+        let recall = |ef: usize| {
+            let got = h.knn_ef(&q, 10, ef);
+            let got_d: Vec<f32> = got.iter().map(|&(_, d)| d * d).collect();
+            exact
+                .iter()
+                .filter(|&&e| got_d.iter().any(|&g| (g - e).abs() < 1e-4))
+                .count()
+        };
+        let low = recall(10);
+        let high = recall(120);
+        prop_assert!(high >= low, "ef=120 recall {high} < ef=10 recall {low}");
+        prop_assert!(high >= 8, "high-ef recall too low: {high}/10");
+    }
+}

@@ -1,0 +1,221 @@
+//! Ground-truth distance matrices and the similarity transform.
+//!
+//! The training objective compares predicted similarities against
+//! `S = exp(−α·D)` where `D` is the pre-computed pairwise distance matrix
+//! (Section IV-D). Full pairwise computation is O(N²·n²); it is parallelized
+//! across rows with crossbeam scoped threads.
+
+use crate::metrics::{Metric, MetricParams};
+use crate::Trajectory;
+
+/// A dense symmetric pairwise distance matrix.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Compute all pairwise distances using `threads` worker threads.
+    pub fn compute(
+        trajectories: &[Trajectory],
+        metric: Metric,
+        params: &MetricParams,
+        threads: usize,
+    ) -> DistanceMatrix {
+        let n = trajectories.len();
+        let mut data = vec![0.0f64; n * n];
+        let threads = threads.max(1);
+        // Partition rows round-robin so long-trajectory rows spread evenly.
+        let chunks: Vec<(usize, &mut [f64])> = data.chunks_mut(n).enumerate().collect();
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            let mut partitions: Vec<Vec<(usize, &mut [f64])>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (k, row) in chunks {
+                partitions[k % threads].push((k, row));
+            }
+            for part in partitions {
+                handles.push(s.spawn(move |_| {
+                    for (i, row) in part {
+                        for (j, other) in trajectories.iter().enumerate() {
+                            // Symmetric: compute the upper triangle only; the
+                            // lower triangle is filled by the mirror pass.
+                            if j > i {
+                                row[j] = metric.distance(&trajectories[i], other, params);
+                            }
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("distance worker panicked");
+            }
+        })
+        .expect("crossbeam scope failed");
+        // Mirror the upper triangle.
+        for i in 0..n {
+            for j in 0..i {
+                data[i * n + j] = data[j * n + i];
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Build from a row-major buffer (e.g. deserialized).
+    pub fn from_raw(n: usize, data: Vec<f64>) -> DistanceMatrix {
+        assert_eq!(data.len(), n * n, "DistanceMatrix: buffer must be n*n");
+        DistanceMatrix { n, data }
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Maximum finite entry (used to normalize distances before `exp(−αD)`).
+    pub fn max_value(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The paper's similarity transform `S = exp(−α·D̂)` with `D̂` scaled to
+    /// `[0, 1]` by the matrix maximum, so α has a dataset-independent effect.
+    pub fn to_similarity(&self, alpha: f64) -> SimilarityMatrix {
+        let max = self.max_value().max(f64::MIN_POSITIVE);
+        let data = self.data.iter().map(|&d| (-alpha * d / max).exp()).collect();
+        SimilarityMatrix { n: self.n, data, alpha, scale: max }
+    }
+
+    /// Indices of the `k` nearest trajectories to row `i` (self excluded),
+    /// ties broken by index.
+    pub fn knn_of(&self, i: usize, k: usize) -> Vec<usize> {
+        let row = self.row(i);
+        let mut idx: Vec<usize> = (0..self.n).filter(|&j| j != i).collect();
+        idx.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap().then(a.cmp(&b)));
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// `S = exp(−α·D/scale)`, entries in `(0, 1]`.
+#[derive(Debug, Clone)]
+pub struct SimilarityMatrix {
+    n: usize,
+    data: Vec<f64>,
+    alpha: f64,
+    scale: f64,
+}
+
+impl SimilarityMatrix {
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The distance normalization constant used by the transform.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Similarity of an out-of-matrix distance value under the same transform.
+    pub fn similarity_of_distance(&self, d: f64) -> f64 {
+        (-self.alpha * d / self.scale).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trajectory;
+
+    fn toy() -> Vec<Trajectory> {
+        vec![
+            Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0)]),
+            Trajectory::from_coords(&[(0.0, 0.1), (1.0, 0.1)]),
+            Trajectory::from_coords(&[(5.0, 5.0), (6.0, 5.0)]),
+        ]
+    }
+
+    #[test]
+    fn symmetric_zero_diagonal() {
+        let m = DistanceMatrix::compute(&toy(), Metric::Dtw, &MetricParams::default(), 2);
+        for i in 0..3 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+        // Close pair closer than far pair.
+        assert!(m.get(0, 1) < m.get(0, 2));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let trajs = toy();
+        let p = MetricParams::default();
+        let serial = DistanceMatrix::compute(&trajs, Metric::Frechet, &p, 1);
+        let parallel = DistanceMatrix::compute(&trajs, Metric::Frechet, &p, 4);
+        assert_eq!(serial.raw(), parallel.raw());
+    }
+
+    #[test]
+    fn similarity_transform_properties() {
+        let m = DistanceMatrix::compute(&toy(), Metric::Dtw, &MetricParams::default(), 1);
+        let s = m.to_similarity(8.0);
+        for i in 0..3 {
+            assert_eq!(s.get(i, i), 1.0); // exp(0)
+            for j in 0..3 {
+                let v = s.get(i, j);
+                assert!(v > 0.0 && v <= 1.0);
+            }
+        }
+        // Monotone: smaller distance => larger similarity.
+        assert!(s.get(0, 1) > s.get(0, 2));
+        // Max-distance entry maps to exp(-alpha).
+        let min_sim = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .map(|(i, j)| s.get(i, j))
+            .fold(f64::INFINITY, f64::min);
+        assert!((min_sim - (-8.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_orders_by_distance() {
+        let m = DistanceMatrix::compute(&toy(), Metric::Dtw, &MetricParams::default(), 1);
+        assert_eq!(m.knn_of(0, 2), vec![1, 2]);
+        assert_eq!(m.knn_of(2, 1).len(), 1);
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let m = DistanceMatrix::from_raw(2, vec![0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! Edit-alignment extraction for ERP and EDR: the sequence of operations
+//! (match/align, delete-from-A, delete-from-B) of one optimal alignment.
+//! This is the matching information (Figure 1 of the paper) for the
+//! edit-based metrics, complementing `dtw_matching` / `lcss_matching`.
+
+use crate::{Point, Trajectory};
+
+/// One step of an edit alignment between trajectories A and B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditOp {
+    /// Point `i` of A aligned with point `j` of B.
+    Align(usize, usize),
+    /// Point `i` of A matched to the gap (deleted from A).
+    GapA(usize),
+    /// Point `j` of B matched to the gap (deleted from B).
+    GapB(usize),
+}
+
+/// ERP distance and one optimal alignment (Chen & Ng's edit distance with
+/// real penalty, Eq. 1).
+pub fn erp_alignment(a: &Trajectory, b: &Trajectory, gap: Point) -> (f64, Vec<EditOp>) {
+    assert!(!a.is_empty() && !b.is_empty(), "erp_alignment: empty trajectory");
+    let (pa, pb) = (a.points(), b.points());
+    let (m, n) = (pa.len(), pb.len());
+    let idx = |i: usize, j: usize| i * (n + 1) + j;
+    let mut dp = vec![0.0f64; (m + 1) * (n + 1)];
+    for j in 1..=n {
+        dp[idx(0, j)] = dp[idx(0, j - 1)] + pb[j - 1].dist(&gap);
+    }
+    for i in 1..=m {
+        dp[idx(i, 0)] = dp[idx(i - 1, 0)] + pa[i - 1].dist(&gap);
+        for j in 1..=n {
+            let del_a = dp[idx(i - 1, j)] + pa[i - 1].dist(&gap);
+            let del_b = dp[idx(i, j - 1)] + pb[j - 1].dist(&gap);
+            let align = dp[idx(i - 1, j - 1)] + pa[i - 1].dist(&pb[j - 1]);
+            dp[idx(i, j)] = del_a.min(del_b).min(align);
+        }
+    }
+    // Backtrace.
+    let mut ops = Vec::new();
+    let (mut i, mut j) = (m, n);
+    while i > 0 || j > 0 {
+        let cur = dp[idx(i, j)];
+        if i > 0 && j > 0 {
+            let align = dp[idx(i - 1, j - 1)] + pa[i - 1].dist(&pb[j - 1]);
+            if (cur - align).abs() < 1e-12 {
+                ops.push(EditOp::Align(i - 1, j - 1));
+                i -= 1;
+                j -= 1;
+                continue;
+            }
+        }
+        if i > 0 {
+            let del_a = dp[idx(i - 1, j)] + pa[i - 1].dist(&gap);
+            if (cur - del_a).abs() < 1e-12 {
+                ops.push(EditOp::GapA(i - 1));
+                i -= 1;
+                continue;
+            }
+        }
+        debug_assert!(j > 0);
+        ops.push(EditOp::GapB(j - 1));
+        j -= 1;
+    }
+    ops.reverse();
+    (dp[idx(m, n)], ops)
+}
+
+/// EDR distance and one optimal alignment (Chen, Özsu & Oria, Eq. 2):
+/// aligned pairs farther apart than `eps` cost 1, gaps cost 1.
+pub fn edr_alignment(a: &Trajectory, b: &Trajectory, eps: f64) -> (f64, Vec<EditOp>) {
+    assert!(!a.is_empty() && !b.is_empty(), "edr_alignment: empty trajectory");
+    assert!(eps >= 0.0, "edr_alignment: eps must be non-negative");
+    let (pa, pb) = (a.points(), b.points());
+    let (m, n) = (pa.len(), pb.len());
+    let eps_sq = eps * eps;
+    let idx = |i: usize, j: usize| i * (n + 1) + j;
+    let mut dp = vec![0.0f64; (m + 1) * (n + 1)];
+    for j in 1..=n {
+        dp[idx(0, j)] = j as f64;
+    }
+    for i in 1..=m {
+        dp[idx(i, 0)] = i as f64;
+        for j in 1..=n {
+            let sub = if pa[i - 1].dist_sq(&pb[j - 1]) <= eps_sq { 0.0 } else { 1.0 };
+            dp[idx(i, j)] = (dp[idx(i - 1, j - 1)] + sub)
+                .min(dp[idx(i - 1, j)] + 1.0)
+                .min(dp[idx(i, j - 1)] + 1.0);
+        }
+    }
+    let mut ops = Vec::new();
+    let (mut i, mut j) = (m, n);
+    while i > 0 || j > 0 {
+        let cur = dp[idx(i, j)];
+        if i > 0 && j > 0 {
+            let sub = if pa[i - 1].dist_sq(&pb[j - 1]) <= eps_sq { 0.0 } else { 1.0 };
+            if (cur - (dp[idx(i - 1, j - 1)] + sub)).abs() < 1e-12 {
+                ops.push(EditOp::Align(i - 1, j - 1));
+                i -= 1;
+                j -= 1;
+                continue;
+            }
+        }
+        if i > 0 && (cur - (dp[idx(i - 1, j)] + 1.0)).abs() < 1e-12 {
+            ops.push(EditOp::GapA(i - 1));
+            i -= 1;
+            continue;
+        }
+        debug_assert!(j > 0);
+        ops.push(EditOp::GapB(j - 1));
+        j -= 1;
+    }
+    ops.reverse();
+    (dp[idx(m, n)], ops)
+}
+
+/// Verify an alignment covers each index of both trajectories exactly once,
+/// in order (useful for tests and debugging tooling).
+pub fn alignment_is_complete(ops: &[EditOp], m: usize, n: usize) -> bool {
+    let (mut next_i, mut next_j) = (0usize, 0usize);
+    for op in ops {
+        match *op {
+            EditOp::Align(i, j) => {
+                if i != next_i || j != next_j {
+                    return false;
+                }
+                next_i += 1;
+                next_j += 1;
+            }
+            EditOp::GapA(i) => {
+                if i != next_i {
+                    return false;
+                }
+                next_i += 1;
+            }
+            EditOp::GapB(j) => {
+                if j != next_j {
+                    return false;
+                }
+                next_j += 1;
+            }
+        }
+    }
+    next_i == m && next_j == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{edr, erp};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const G: Point = Point::new(0.0, 0.0);
+
+    fn random_traj(rng: &mut StdRng, len: usize) -> Trajectory {
+        (0..len)
+            .map(|_| Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn erp_alignment_distance_matches_metric() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..10 {
+            let a = random_traj(&mut rng, 12);
+            let b = random_traj(&mut rng, 9);
+            let (d, ops) = erp_alignment(&a, &b, G);
+            assert!((d - erp(&a, &b, G)).abs() < 1e-9);
+            assert!(alignment_is_complete(&ops, a.len(), b.len()));
+        }
+    }
+
+    #[test]
+    fn erp_alignment_cost_reconstructs_distance() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let a = random_traj(&mut rng, 8);
+        let b = random_traj(&mut rng, 11);
+        let (d, ops) = erp_alignment(&a, &b, G);
+        let recon: f64 = ops
+            .iter()
+            .map(|op| match *op {
+                EditOp::Align(i, j) => a[i].dist(&b[j]),
+                EditOp::GapA(i) => a[i].dist(&G),
+                EditOp::GapB(j) => b[j].dist(&G),
+            })
+            .sum();
+        assert!((d - recon).abs() < 1e-9, "{d} vs {recon}");
+    }
+
+    #[test]
+    fn edr_alignment_distance_matches_metric() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for eps in [0.05, 0.2, 0.5] {
+            let a = random_traj(&mut rng, 10);
+            let b = random_traj(&mut rng, 14);
+            let (d, ops) = edr_alignment(&a, &b, eps);
+            assert!((d - edr(&a, &b, eps)).abs() < 1e-9, "eps {eps}");
+            assert!(alignment_is_complete(&ops, a.len(), b.len()));
+        }
+    }
+
+    #[test]
+    fn edr_identical_alignment_is_all_matches() {
+        let t = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        let (d, ops) = edr_alignment(&t, &t, 0.01);
+        assert_eq!(d, 0.0);
+        assert!(ops.iter().all(|op| matches!(op, EditOp::Align(_, _))));
+    }
+
+    #[test]
+    fn completeness_checker_rejects_bad_alignments() {
+        assert!(!alignment_is_complete(&[EditOp::Align(0, 0)], 2, 1));
+        assert!(!alignment_is_complete(&[EditOp::Align(1, 0)], 1, 1));
+        assert!(alignment_is_complete(
+            &[EditOp::GapA(0), EditOp::Align(1, 0)],
+            2,
+            1
+        ));
+    }
+}

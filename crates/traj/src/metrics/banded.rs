@@ -1,0 +1,112 @@
+//! Banded (Sakoe–Chiba) DTW — the classic *non-learning* approximation the
+//! paper's related work contrasts with (category (1) in Section I:
+//! approximation-based algorithms that speed up one specific metric).
+//!
+//! Restricting the warping path to `|i − j| ≤ band` reduces the DP from
+//! O(m·n) to O(max(m,n)·band). The result upper-bounds exact DTW and equals
+//! it when the band covers the optimal path.
+
+use crate::Trajectory;
+
+/// DTW restricted to a Sakoe–Chiba band of half-width `band` (in *aligned*
+/// index space: position `i` of the longer trajectory maps to
+/// `i·n/m ± band` of the shorter one, so length mismatches stay feasible).
+pub fn dtw_banded(a: &Trajectory, b: &Trajectory, band: usize) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "dtw_banded: empty trajectory");
+    let (pa, pb) = (a.points(), b.points());
+    let (outer, inner) = if pa.len() >= pb.len() { (pa, pb) } else { (pb, pa) };
+    let (m, n) = (outer.len(), inner.len());
+    // A band narrower than the slope of the alignment would make the DP
+    // infeasible; widen it to at least the length difference + 1.
+    let band = band.max(1);
+    let mut prev = vec![f64::INFINITY; n + 1];
+    let mut cur = vec![f64::INFINITY; n + 1];
+    prev[0] = 0.0;
+    for (i, op) in outer.iter().enumerate() {
+        // Centre of the band for row i, in inner coordinates.
+        let centre = (i * n) / m;
+        let lo = centre.saturating_sub(band);
+        let hi = (centre + band).min(n - 1);
+        cur.iter_mut().for_each(|v| *v = f64::INFINITY);
+        for (j, ip) in inner.iter().enumerate().take(hi + 1).skip(lo) {
+            let cost = op.dist(ip);
+            let best = prev[j + 1].min(cur[j]).min(prev[j]);
+            if best.is_finite() {
+                cur[j + 1] = cost + best;
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::dtw::dtw;
+    use crate::Point;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_traj(rng: &mut StdRng, len: usize) -> Trajectory {
+        (0..len)
+            .map(|_| Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn full_band_equals_exact() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let a = random_traj(&mut rng, 20);
+            let b = random_traj(&mut rng, 14);
+            let exact = dtw(&a, &b);
+            let banded = dtw_banded(&a, &b, 20);
+            assert!((exact - banded).abs() < 1e-9, "full band must be exact");
+        }
+    }
+
+    #[test]
+    fn banded_upper_bounds_exact() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for band in [1usize, 2, 4, 8] {
+            let a = random_traj(&mut rng, 24);
+            let b = random_traj(&mut rng, 24);
+            let exact = dtw(&a, &b);
+            let approx = dtw_banded(&a, &b, band);
+            assert!(
+                approx >= exact - 1e-9,
+                "band {band}: approx {approx} < exact {exact}"
+            );
+            assert!(approx.is_finite(), "band {band} produced infeasible DP");
+        }
+    }
+
+    #[test]
+    fn wider_band_is_tighter() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = random_traj(&mut rng, 30);
+        let b = random_traj(&mut rng, 30);
+        let d1 = dtw_banded(&a, &b, 1);
+        let d4 = dtw_banded(&a, &b, 4);
+        let d16 = dtw_banded(&a, &b, 16);
+        assert!(d1 >= d4 - 1e-9 && d4 >= d16 - 1e-9);
+    }
+
+    #[test]
+    fn identical_trajectories_zero_with_any_band() {
+        let t = Trajectory::from_coords(&[(0.0, 0.0), (0.3, 0.3), (0.7, 0.1), (1.0, 0.9)]);
+        for band in [1usize, 2, 10] {
+            assert_eq!(dtw_banded(&t, &t, band), 0.0);
+        }
+    }
+
+    #[test]
+    fn length_mismatch_stays_feasible() {
+        // Slope-aware band: even band=1 must produce a finite value when
+        // lengths differ a lot.
+        let a = Trajectory::from_coords(&(0..40).map(|i| (i as f64, 0.0)).collect::<Vec<_>>());
+        let b = Trajectory::from_coords(&[(0.0, 1.0), (20.0, 1.0), (39.0, 1.0)]);
+        assert!(dtw_banded(&a, &b, 1).is_finite());
+    }
+}

@@ -1,0 +1,77 @@
+//! Edit Distance on Real sequence (Chen, Özsu & Oria), Eq. 2 of the paper.
+
+use crate::Trajectory;
+
+/// EDR distance with matching threshold `eps`.
+///
+/// Two points *match* (subcost 0) iff their distance is ≤ ε; otherwise a
+/// substitution, insertion or deletion each costs 1. The result is an edit
+/// count in `[0, max(m, n)]`.
+pub fn edr(a: &Trajectory, b: &Trajectory, eps: f64) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "edr: empty trajectory");
+    assert!(eps >= 0.0, "edr: eps must be non-negative");
+    let (pa, pb) = (a.points(), b.points());
+    let (outer, inner) = if pa.len() >= pb.len() { (pa, pb) } else { (pb, pa) };
+    let n = inner.len();
+    let eps_sq = eps * eps;
+    let mut prev: Vec<f64> = (0..=n).map(|j| j as f64).collect();
+    let mut cur = vec![0.0f64; n + 1];
+    for (i, op) in outer.iter().enumerate() {
+        cur[0] = (i + 1) as f64;
+        for (j, ip) in inner.iter().enumerate() {
+            let subcost = if op.dist_sq(ip) <= eps_sq { 0.0 } else { 1.0 };
+            cur[j + 1] = (prev[j] + subcost).min(prev[j + 1] + 1.0).min(cur[j] + 1.0);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trajectory;
+
+    #[test]
+    fn identical_is_zero() {
+        let t = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        assert_eq!(edr(&t, &t, 0.1), 0.0);
+    }
+
+    #[test]
+    fn totally_different_costs_max_len() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = Trajectory::from_coords(&[(100.0, 100.0), (200.0, 200.0)]);
+        assert_eq!(edr(&a, &b, 0.1), 3.0);
+    }
+
+    #[test]
+    fn threshold_controls_matching() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = Trajectory::from_coords(&[(0.05, 0.0), (1.05, 0.0)]);
+        assert_eq!(edr(&a, &b, 0.1), 0.0); // both within eps
+        assert_eq!(edr(&a, &b, 0.01), 2.0); // neither within eps
+    }
+
+    #[test]
+    fn one_insertion() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = Trajectory::from_coords(&[(0.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(edr(&a, &b, 0.1), 1.0);
+    }
+
+    #[test]
+    fn bounded_by_max_length() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0); 5]);
+        let b = Trajectory::from_coords(&[(9.0, 9.0); 8]);
+        let d = edr(&a, &b, 0.1);
+        assert!((3.0..=8.0).contains(&d));
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 2.0), (2.0, 0.5)]);
+        let b = Trajectory::from_coords(&[(0.1, 0.0), (3.0, 3.0)]);
+        assert_eq!(edr(&a, &b, 0.5), edr(&b, &a, 0.5));
+    }
+}

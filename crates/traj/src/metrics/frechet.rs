@@ -1,0 +1,116 @@
+//! Discrete Fréchet distance (Eiter & Mannila).
+
+use crate::Trajectory;
+
+/// Discrete Fréchet distance with rolling-row memory.
+///
+/// `C(i,j) = max(d(pᵢ, qⱼ), min(C(i−1,j), C(i,j−1), C(i−1,j−1)))`.
+pub fn frechet(a: &Trajectory, b: &Trajectory) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "frechet: empty trajectory");
+    let (pa, pb) = (a.points(), b.points());
+    let (outer, inner) = if pa.len() >= pb.len() { (pa, pb) } else { (pb, pa) };
+    let n = inner.len();
+    let mut prev = vec![f64::INFINITY; n + 1];
+    let mut cur = vec![f64::INFINITY; n + 1];
+    prev[0] = 0.0;
+    for op in outer {
+        cur[0] = f64::INFINITY;
+        for (j, ip) in inner.iter().enumerate() {
+            let cost = op.dist(ip);
+            let reach = prev[j + 1].min(cur[j]).min(prev[j]);
+            cur[j + 1] = cost.max(reach);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// Discrete Fréchet distance and one optimal coupling (leash positions).
+pub fn frechet_matching(a: &Trajectory, b: &Trajectory) -> (f64, Vec<(usize, usize)>) {
+    assert!(!a.is_empty() && !b.is_empty(), "frechet_matching: empty trajectory");
+    let (pa, pb) = (a.points(), b.points());
+    let (m, n) = (pa.len(), pb.len());
+    let mut dp = vec![f64::INFINITY; (m + 1) * (n + 1)];
+    let idx = |i: usize, j: usize| i * (n + 1) + j;
+    dp[0] = 0.0;
+    for i in 1..=m {
+        for j in 1..=n {
+            let cost = pa[i - 1].dist(&pb[j - 1]);
+            let reach = dp[idx(i - 1, j)].min(dp[idx(i, j - 1)]).min(dp[idx(i - 1, j - 1)]);
+            dp[idx(i, j)] = cost.max(reach);
+        }
+    }
+    let mut path = Vec::new();
+    let (mut i, mut j) = (m, n);
+    while i >= 1 && j >= 1 {
+        path.push((i - 1, j - 1));
+        if i == 1 && j == 1 {
+            break;
+        }
+        let diag = dp[idx(i - 1, j - 1)];
+        let up = dp[idx(i - 1, j)];
+        let left = dp[idx(i, j - 1)];
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    path.reverse();
+    (dp[idx(m, n)], path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::dtw::dtw;
+    use crate::Trajectory;
+
+    #[test]
+    fn parallel_lines_give_offset() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = Trajectory::from_coords(&[(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)]);
+        assert_eq!(frechet(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn frechet_is_bottleneck_not_sum() {
+        // DTW sums 3 unit matches (=3); Fréchet takes the max (=1).
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = Trajectory::from_coords(&[(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)]);
+        assert_eq!(frechet(&a, &b), 1.0);
+        assert_eq!(dtw(&a, &b), 3.0);
+    }
+
+    #[test]
+    fn lower_bounded_by_endpoint_distances() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (5.0, 5.0)]);
+        let b = Trajectory::from_coords(&[(0.0, 2.0), (5.0, 9.0)]);
+        let d = frechet(&a, &b);
+        assert!(d >= a[0].dist(&b[0]) - 1e-12);
+        assert!(d >= a[1].dist(&b[1]) - 1e-12);
+    }
+
+    #[test]
+    fn matching_bottleneck_equals_distance() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 2.0), (2.5, 1.0), (4.0, 0.0)]);
+        let b = Trajectory::from_coords(&[(0.5, 0.0), (1.5, 2.5), (3.5, 0.2)]);
+        let (d, path) = frechet_matching(&a, &b);
+        assert!((d - frechet(&a, &b)).abs() < 1e-12);
+        let bottleneck = path
+            .iter()
+            .map(|&(i, j)| a[i].dist(&b[j]))
+            .fold(0.0f64, f64::max);
+        assert!((d - bottleneck).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 3.0)]);
+        let b = Trajectory::from_coords(&[(2.0, 2.0), (0.0, 1.0), (4.0, 4.0)]);
+        assert_eq!(frechet(&a, &b), frechet(&b, &a));
+    }
+}

@@ -1,0 +1,69 @@
+//! Hausdorff distance between point sets.
+
+use crate::{Point, Trajectory};
+
+/// Directed Hausdorff: `max_{a∈A} min_{b∈B} d(a, b)`.
+fn directed(from: &[Point], to: &[Point]) -> f64 {
+    let mut worst = 0.0f64;
+    for a in from {
+        let mut best = f64::INFINITY;
+        for b in to {
+            let d = a.dist_sq(b);
+            if d < best {
+                best = d;
+                if best == 0.0 {
+                    break;
+                }
+            }
+        }
+        if best > worst {
+            worst = best;
+        }
+    }
+    worst.sqrt()
+}
+
+/// Symmetric Hausdorff distance:
+/// `max(directed(A→B), directed(B→A))`.
+pub fn hausdorff(a: &Trajectory, b: &Trajectory) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "hausdorff: empty trajectory");
+    directed(a.points(), b.points()).max(directed(b.points(), a.points()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trajectory;
+
+    #[test]
+    fn subset_is_one_sided() {
+        // b ⊂ a: directed(b→a) = 0 but directed(a→b) > 0.
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0), (10.0, 0.0)]);
+        let b = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0)]);
+        assert_eq!(hausdorff(&a, &b), 9.0);
+    }
+
+    #[test]
+    fn parallel_lines() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = Trajectory::from_coords(&[(0.0, 2.0), (1.0, 2.0)]);
+        assert_eq!(hausdorff(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn order_invariant() {
+        // Hausdorff ignores sequence order entirely.
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        let rev = Trajectory::from_coords(&[(2.0, 0.0), (1.0, 1.0), (0.0, 0.0)]);
+        assert_eq!(hausdorff(&a, &rev), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_samples() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = Trajectory::from_coords(&[(0.5, 1.0), (1.5, 1.0)]);
+        let c = Trajectory::from_coords(&[(2.0, 2.0)]);
+        let (ab, bc, ac) = (hausdorff(&a, &b), hausdorff(&b, &c), hausdorff(&a, &c));
+        assert!(ac <= ab + bc + 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! Longest Common Subsequence for trajectories (Vlachos et al.), Eq. 3.
+
+use crate::Trajectory;
+
+/// Length of the longest common subsequence under threshold `eps`:
+/// points `pᵢ`, `qⱼ` are common iff `d(pᵢ, qⱼ) ≤ ε`.
+pub fn lcss(a: &Trajectory, b: &Trajectory, eps: f64) -> usize {
+    assert!(!a.is_empty() && !b.is_empty(), "lcss: empty trajectory");
+    assert!(eps >= 0.0, "lcss: eps must be non-negative");
+    let (pa, pb) = (a.points(), b.points());
+    let (outer, inner) = if pa.len() >= pb.len() { (pa, pb) } else { (pb, pa) };
+    let n = inner.len();
+    let eps_sq = eps * eps;
+    let mut prev = vec![0usize; n + 1];
+    let mut cur = vec![0usize; n + 1];
+    for op in outer {
+        for (j, ip) in inner.iter().enumerate() {
+            cur[j + 1] = if op.dist_sq(ip) <= eps_sq {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0;
+    }
+    prev[n]
+}
+
+/// LCSS *distance*: `1 − LCSS / min(m, n)`, in `[0, 1]`.
+pub fn lcss_distance(a: &Trajectory, b: &Trajectory, eps: f64) -> f64 {
+    let l = lcss(a, b, eps) as f64;
+    1.0 - l / a.len().min(b.len()) as f64
+}
+
+/// LCSS length plus the matched `(i, j)` pairs of one optimal common
+/// subsequence.
+pub fn lcss_matching(a: &Trajectory, b: &Trajectory, eps: f64) -> (usize, Vec<(usize, usize)>) {
+    assert!(!a.is_empty() && !b.is_empty(), "lcss_matching: empty trajectory");
+    let (pa, pb) = (a.points(), b.points());
+    let (m, n) = (pa.len(), pb.len());
+    let eps_sq = eps * eps;
+    let idx = |i: usize, j: usize| i * (n + 1) + j;
+    let mut dp = vec![0usize; (m + 1) * (n + 1)];
+    for i in 1..=m {
+        for j in 1..=n {
+            dp[idx(i, j)] = if pa[i - 1].dist_sq(&pb[j - 1]) <= eps_sq {
+                dp[idx(i - 1, j - 1)] + 1
+            } else {
+                dp[idx(i - 1, j)].max(dp[idx(i, j - 1)])
+            };
+        }
+    }
+    let mut pairs = Vec::new();
+    let (mut i, mut j) = (m, n);
+    while i > 0 && j > 0 {
+        if pa[i - 1].dist_sq(&pb[j - 1]) <= eps_sq && dp[idx(i, j)] == dp[idx(i - 1, j - 1)] + 1 {
+            pairs.push((i - 1, j - 1));
+            i -= 1;
+            j -= 1;
+        } else if dp[idx(i - 1, j)] >= dp[idx(i, j - 1)] {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    pairs.reverse();
+    (dp[idx(m, n)], pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trajectory;
+
+    #[test]
+    fn identical_full_match() {
+        let t = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        assert_eq!(lcss(&t, &t, 0.01), 3);
+        assert_eq!(lcss_distance(&t, &t, 0.01), 0.0);
+    }
+
+    #[test]
+    fn disjoint_no_match() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = Trajectory::from_coords(&[(50.0, 50.0)]);
+        assert_eq!(lcss(&a, &b, 0.5), 0);
+        assert_eq!(lcss_distance(&a, &b, 0.5), 1.0);
+    }
+
+    #[test]
+    fn subsequence_not_substring() {
+        // Common subsequence may skip the middle point.
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (9.0, 9.0), (1.0, 0.0)]);
+        let b = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0)]);
+        assert_eq!(lcss(&a, &b, 0.01), 2);
+    }
+
+    #[test]
+    fn distance_in_unit_interval() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = Trajectory::from_coords(&[(0.0, 0.0), (7.0, 7.0)]);
+        let d = lcss_distance(&a, &b, 0.1);
+        assert!((0.0..=1.0).contains(&d));
+        assert_eq!(d, 0.5); // 1 match out of min(3,2)=2
+    }
+
+    #[test]
+    fn matching_pairs_are_within_eps_and_increasing() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let b = Trajectory::from_coords(&[(0.0, 0.05), (2.0, 0.05), (9.0, 9.0), (3.0, 0.05)]);
+        let (l, pairs) = lcss_matching(&a, &b, 0.1);
+        assert_eq!(l, 3);
+        assert_eq!(pairs.len(), 3);
+        for &(i, j) in &pairs {
+            assert!(a[i].dist(&b[j]) <= 0.1);
+        }
+        for w in pairs.windows(2) {
+            assert!(w[1].0 > w[0].0 && w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 2.0), (2.0, 0.5)]);
+        let b = Trajectory::from_coords(&[(0.1, 0.0), (3.0, 3.0)]);
+        assert_eq!(lcss(&a, &b, 0.5), lcss(&b, &a, 0.5));
+    }
+}

@@ -1,0 +1,212 @@
+//! Prefix distances for the sub-trajectory loss (Eq. 15).
+//!
+//! The loss supervises `f(T_a^{(:i)}, T_s^{(:i)})` for `i = stride, 2·stride,
+//! ...`. For the DP metrics these values are entries of the same DP table
+//! that computes the full distance, so all prefixes cost one O(n·m) pass;
+//! Hausdorff uses an incremental max–min sweep with the same complexity.
+
+use super::{Metric, MetricParams};
+use crate::Trajectory;
+
+/// Distances between equal-index prefixes:
+/// returns `(i, f(a[..i], b[..i]))` for `i = stride, 2·stride, .., ≤ min(m,n)`.
+///
+/// `stride` must be positive. The paper samples sub-trajectories at every
+/// 10th point (Section IV-D).
+pub fn prefix_distances(
+    metric: Metric,
+    a: &Trajectory,
+    b: &Trajectory,
+    stride: usize,
+    params: &MetricParams,
+) -> Vec<(usize, f64)> {
+    assert!(stride > 0, "prefix_distances: stride must be positive");
+    assert!(!a.is_empty() && !b.is_empty(), "prefix_distances: empty trajectory");
+    let upto = a.len().min(b.len());
+    let wanted: Vec<usize> = (1..=upto / stride).map(|k| k * stride).collect();
+    if wanted.is_empty() {
+        return Vec::new();
+    }
+    match metric {
+        Metric::Dtw => diagonal_dp(a, b, &wanted, DpKind::Dtw, params),
+        Metric::Frechet => diagonal_dp(a, b, &wanted, DpKind::Frechet, params),
+        Metric::Erp => diagonal_dp(a, b, &wanted, DpKind::Erp, params),
+        Metric::Edr => diagonal_dp(a, b, &wanted, DpKind::Edr, params),
+        Metric::Lcss => diagonal_dp(a, b, &wanted, DpKind::Lcss, params),
+        Metric::Hausdorff => hausdorff_prefixes(a, b, &wanted),
+    }
+}
+
+enum DpKind {
+    Dtw,
+    Frechet,
+    Erp,
+    Edr,
+    Lcss,
+}
+
+/// One full DP over (a, b); collect the diagonal entries (i, i) at `wanted`.
+fn diagonal_dp(
+    a: &Trajectory,
+    b: &Trajectory,
+    wanted: &[usize],
+    kind: DpKind,
+    params: &MetricParams,
+) -> Vec<(usize, f64)> {
+    let (pa, pb) = (a.points(), b.points());
+    let (m, n) = (pa.len(), pb.len());
+    let eps_sq = params.eps * params.eps;
+    // Row-by-row DP keeping the full previous row; capture dp[i][i] when the
+    // current row index is a wanted prefix length.
+    let mut out = Vec::with_capacity(wanted.len());
+    let mut prev: Vec<f64> = match kind {
+        DpKind::Dtw | DpKind::Frechet => {
+            let mut r = vec![f64::INFINITY; n + 1];
+            r[0] = 0.0;
+            r
+        }
+        DpKind::Erp => std::iter::once(0.0)
+            .chain(pb.iter().scan(0.0, |acc, p| {
+                *acc += p.dist(&params.erp_gap);
+                Some(*acc)
+            }))
+            .collect(),
+        DpKind::Edr => (0..=n).map(|j| j as f64).collect(),
+        DpKind::Lcss => vec![0.0; n + 1],
+    };
+    let mut cur = vec![0.0f64; n + 1];
+    for i in 1..=m {
+        cur[0] = match kind {
+            DpKind::Dtw | DpKind::Frechet => f64::INFINITY,
+            DpKind::Erp => prev[0] + pa[i - 1].dist(&params.erp_gap),
+            DpKind::Edr => i as f64,
+            DpKind::Lcss => 0.0,
+        };
+        for j in 1..=n {
+            let (pi, qj) = (&pa[i - 1], &pb[j - 1]);
+            cur[j] = match kind {
+                DpKind::Dtw => pi.dist(qj) + prev[j].min(cur[j - 1]).min(prev[j - 1]),
+                DpKind::Frechet => {
+                    pi.dist(qj).max(prev[j].min(cur[j - 1]).min(prev[j - 1]))
+                }
+                DpKind::Erp => {
+                    let del_a = prev[j] + pi.dist(&params.erp_gap);
+                    let del_b = cur[j - 1] + qj.dist(&params.erp_gap);
+                    let align = prev[j - 1] + pi.dist(qj);
+                    del_a.min(del_b).min(align)
+                }
+                DpKind::Edr => {
+                    let sub = if pi.dist_sq(qj) <= eps_sq { 0.0 } else { 1.0 };
+                    (prev[j - 1] + sub).min(prev[j] + 1.0).min(cur[j - 1] + 1.0)
+                }
+                DpKind::Lcss => {
+                    if pi.dist_sq(qj) <= eps_sq {
+                        prev[j - 1] + 1.0
+                    } else {
+                        prev[j].max(cur[j - 1])
+                    }
+                }
+            };
+        }
+        if wanted.contains(&i) {
+            let v = match kind {
+                DpKind::Lcss => 1.0 - cur[i] / i as f64, // LCSS distance form
+                _ => cur[i],
+            };
+            out.push((i, v));
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    out
+}
+
+/// Incremental prefix Hausdorff: maintain, for both directions, the running
+/// min distance from each point to the other (growing) prefix.
+fn hausdorff_prefixes(a: &Trajectory, b: &Trajectory, wanted: &[usize]) -> Vec<(usize, f64)> {
+    let (pa, pb) = (a.points(), b.points());
+    let upto = *wanted.last().unwrap();
+    // min_a[p] = min_{q < i} d(a_p, b_q), over prefixes of b (and vice versa).
+    let mut min_a = vec![f64::INFINITY; upto];
+    let mut min_b = vec![f64::INFINITY; upto];
+    let mut out = Vec::with_capacity(wanted.len());
+    for i in 1..=upto {
+        // The new opposing points b_{i-1} / a_{i-1} refresh existing entries…
+        for p in 0..i - 1 {
+            min_a[p] = min_a[p].min(pa[p].dist_sq(&pb[i - 1]));
+            min_b[p] = min_b[p].min(pb[p].dist_sq(&pa[i - 1]));
+        }
+        // …and the new own points a_{i-1} / b_{i-1} scan the whole opposing
+        // prefix once.
+        for q in 0..i {
+            min_a[i - 1] = min_a[i - 1].min(pa[i - 1].dist_sq(&pb[q]));
+            min_b[i - 1] = min_b[i - 1].min(pb[i - 1].dist_sq(&pa[q]));
+        }
+        if wanted.contains(&i) {
+            let da = min_a[..i].iter().copied().fold(0.0, f64::max);
+            let db = min_b[..i].iter().copied().fold(0.0, f64::max);
+            out.push((i, da.max(db).sqrt()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_traj(rng: &mut StdRng, len: usize) -> Trajectory {
+        (0..len)
+            .map(|_| Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_prefix_computation_all_metrics() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = random_traj(&mut rng, 25);
+        let b = random_traj(&mut rng, 31);
+        let params = MetricParams { eps: 0.2, ..Default::default() };
+        for metric in Metric::ALL {
+            let fast = prefix_distances(metric, &a, &b, 5, &params);
+            assert_eq!(fast.len(), 5, "{metric}: expected prefixes 5,10,15,20,25");
+            for &(i, d) in &fast {
+                let naive = metric.distance(&a.prefix(i), &b.prefix(i), &params);
+                assert!(
+                    (d - naive).abs() < 1e-9,
+                    "{metric} prefix {i}: fast {d} vs naive {naive}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_length_prefix_equals_full_distance() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = random_traj(&mut rng, 20);
+        let b = random_traj(&mut rng, 20);
+        let params = MetricParams::default();
+        for metric in Metric::ALL {
+            let fast = prefix_distances(metric, &a, &b, 20, &params);
+            assert_eq!(fast.len(), 1);
+            let full = metric.distance(&a, &b, &params);
+            assert!((fast[0].1 - full).abs() < 1e-9, "{metric}");
+        }
+    }
+
+    #[test]
+    fn stride_larger_than_min_len_is_empty() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = Trajectory::from_coords(&[(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)]);
+        assert!(prefix_distances(Metric::Dtw, &a, &b, 10, &MetricParams::default()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0)]);
+        let _ = prefix_distances(Metric::Dtw, &a, &a, 0, &MetricParams::default());
+    }
+}

@@ -1,0 +1,114 @@
+//! Hausdorff witness extraction: the point pair realizing the distance, and
+//! the nearest-neighbour assignment each direction uses. Completes the
+//! matching-extraction suite (DTW/Fréchet paths, LCSS pairs, ERP/EDR
+//! alignments) for the remaining metric.
+
+use crate::Trajectory;
+
+/// The pair of indices realizing the (symmetric) Hausdorff distance, plus
+/// which direction it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HausdorffWitness {
+    /// Index into the first trajectory.
+    pub i: usize,
+    /// Index into the second trajectory.
+    pub j: usize,
+    /// True if the witness comes from the A→B directed distance (a point of
+    /// A far from all of B), false for B→A.
+    pub from_a: bool,
+}
+
+/// Hausdorff distance together with its witness pair.
+pub fn hausdorff_witness(a: &Trajectory, b: &Trajectory) -> (f64, HausdorffWitness) {
+    assert!(!a.is_empty() && !b.is_empty(), "hausdorff_witness: empty trajectory");
+    let directed = |from: &Trajectory, to: &Trajectory| -> (f64, usize, usize) {
+        let mut worst = (f64::NEG_INFINITY, 0usize, 0usize);
+        for (i, p) in from.points().iter().enumerate() {
+            let mut best = (f64::INFINITY, 0usize);
+            for (j, q) in to.points().iter().enumerate() {
+                let d = p.dist_sq(q);
+                if d < best.0 {
+                    best = (d, j);
+                }
+            }
+            if best.0 > worst.0 {
+                worst = (best.0, i, best.1);
+            }
+        }
+        (worst.0.sqrt(), worst.1, worst.2)
+    };
+    let (dab, ia, ja) = directed(a, b);
+    let (dba, ib, jb) = directed(b, a);
+    if dab >= dba {
+        (dab, HausdorffWitness { i: ia, j: ja, from_a: true })
+    } else {
+        // directed(b, a): outer index runs over b, inner over a.
+        (dba, HausdorffWitness { i: jb, j: ib, from_a: false })
+    }
+}
+
+/// For every point of `a`, the index of its nearest point in `b` — the
+/// "match" each directed Hausdorff scan implicitly computes.
+pub fn nearest_assignment(a: &Trajectory, b: &Trajectory) -> Vec<usize> {
+    assert!(!a.is_empty() && !b.is_empty(), "nearest_assignment: empty trajectory");
+    a.points()
+        .iter()
+        .map(|p| {
+            b.points()
+                .iter()
+                .enumerate()
+                .min_by(|(_, x), (_, y)| p.dist_sq(x).partial_cmp(&p.dist_sq(y)).unwrap())
+                .map(|(j, _)| j)
+                .expect("b is non-empty")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::hausdorff;
+    use crate::Trajectory;
+
+    #[test]
+    fn witness_distance_matches_metric() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0), (10.0, 0.0)]);
+        let b = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0)]);
+        let (d, w) = hausdorff_witness(&a, &b);
+        assert_eq!(d, hausdorff(&a, &b));
+        // The far point (10, 0) of A is the witness, nearest to (1, 0) of B.
+        assert_eq!(w, HausdorffWitness { i: 2, j: 1, from_a: true });
+    }
+
+    #[test]
+    fn witness_direction_flips() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0)]);
+        let b = Trajectory::from_coords(&[(0.0, 0.0), (5.0, 0.0)]);
+        let (d, w) = hausdorff_witness(&a, &b);
+        assert_eq!(d, 5.0);
+        assert!(!w.from_a, "the isolated point is in B");
+        assert_eq!((w.i, w.j), (0, 1));
+    }
+
+    #[test]
+    fn witness_pair_distance_equals_value() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (2.0, 1.0), (4.0, 0.5)]);
+        let b = Trajectory::from_coords(&[(0.5, 0.5), (3.0, 3.0)]);
+        let (d, w) = hausdorff_witness(&a, &b);
+        assert!((a[w.i].dist(&b[w.j]) - d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_assignment_is_pointwise_argmin() {
+        let a = Trajectory::from_coords(&[(0.0, 0.0), (0.9, 0.0), (2.1, 0.0)]);
+        let b = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(nearest_assignment(&a, &b), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn identical_trajectories_zero_witness() {
+        let t = Trajectory::from_coords(&[(1.0, 1.0), (2.0, 2.0)]);
+        let (d, _) = hausdorff_witness(&t, &t);
+        assert_eq!(d, 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Geographic points. A trajectory point is a (longitude, latitude) pair
+//! (Definition 1 in the paper); distance metrics operate on Euclidean
+//! distance in coordinate space, matching the reference implementations of
+//! NeuTraj/T3S that feed raw coordinate tuples to the models.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D sample point of a trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    pub lon: f64,
+    pub lat: f64,
+}
+
+impl Point {
+    pub const fn new(lon: f64, lat: f64) -> Point {
+        Point { lon, lat }
+    }
+
+    /// Euclidean distance in coordinate space.
+    pub fn dist(&self, other: &Point) -> f64 {
+        let dx = self.lon - other.lon;
+        let dy = self.lat - other.lat;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the sqrt for comparisons).
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.lon - other.lon;
+        let dy = self.lat - other.lat;
+        dx * dx + dy * dy
+    }
+
+    /// Great-circle distance in meters (haversine), for reporting real-world
+    /// scales of the synthetic datasets.
+    pub fn haversine_m(&self, other: &Point) -> f64 {
+        const R: f64 = 6_371_000.0;
+        let (la1, la2) = (self.lat.to_radians(), other.lat.to_radians());
+        let dlat = (other.lat - self.lat).to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * R * a.sqrt().asin()
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((lon, lat): (f64, f64)) -> Point {
+        Point { lon, lat }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_345() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn dist_symmetric_and_identity() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-0.5, 3.0);
+        assert_eq!(a.dist(&b), b.dist(&a));
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn haversine_equator_degree() {
+        // One degree of longitude at the equator ≈ 111.19 km.
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let d = a.haversine_m(&b);
+        assert!((d - 111_195.0).abs() < 200.0, "got {d}");
+    }
+}

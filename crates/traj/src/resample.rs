@@ -1,0 +1,145 @@
+//! Trajectory resampling: arc-length interpolation to a fixed point count
+//! and distance-threshold densification. Unlike [`crate::simplify`], these
+//! *add or move* points (preprocessing for fixed-length models or uneven
+//! GPS sampling) rather than dropping them.
+
+use crate::{Point, Trajectory};
+
+/// Linear interpolation between two points.
+fn lerp(a: &Point, b: &Point, t: f64) -> Point {
+    Point::new(a.lon + (b.lon - a.lon) * t, a.lat + (b.lat - a.lat) * t)
+}
+
+/// Resample to exactly `n` points spaced uniformly along the path's arc
+/// length (endpoints preserved). A single-point trajectory repeats its
+/// point.
+pub fn resample_uniform(t: &Trajectory, n: usize) -> Trajectory {
+    assert!(n >= 1, "resample_uniform: n must be >= 1");
+    assert!(!t.is_empty(), "resample_uniform: empty trajectory");
+    let pts = t.points();
+    if pts.len() == 1 || n == 1 {
+        return std::iter::repeat_n(pts[0], n).collect();
+    }
+    let seg: Vec<f64> = pts.windows(2).map(|w| w[0].dist(&w[1])).collect();
+    let total: f64 = seg.iter().sum();
+    if total <= 0.0 {
+        // Degenerate (all points identical): repeat.
+        return std::iter::repeat_n(pts[0], n).collect();
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut cursor = 0usize; // current segment
+    let mut acc = 0.0f64; // arc length consumed before segment `cursor`
+    for i in 0..n {
+        let target = total * i as f64 / (n - 1) as f64;
+        while cursor < seg.len() - 1 && acc + seg[cursor] < target {
+            acc += seg[cursor];
+            cursor += 1;
+        }
+        let local = if seg[cursor] > 0.0 {
+            ((target - acc) / seg[cursor]).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        out.push(lerp(&pts[cursor], &pts[cursor + 1], local));
+    }
+    Trajectory::new(out)
+}
+
+/// Insert points so no segment is longer than `max_step` (densification for
+/// very sparse GPS logs). Existing points are kept.
+pub fn densify(t: &Trajectory, max_step: f64) -> Trajectory {
+    assert!(max_step > 0.0, "densify: max_step must be positive");
+    let pts = t.points();
+    if pts.len() < 2 {
+        return t.clone();
+    }
+    let mut out = Vec::with_capacity(pts.len());
+    for w in pts.windows(2) {
+        out.push(w[0]);
+        let d = w[0].dist(&w[1]);
+        if d > max_step {
+            let extra = (d / max_step).ceil() as usize - 1;
+            for k in 1..=extra {
+                out.push(lerp(&w[0], &w[1], k as f64 / (extra + 1) as f64));
+            }
+        }
+    }
+    out.push(*pts.last().unwrap());
+    Trajectory::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path() -> Trajectory {
+        Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)])
+    }
+
+    #[test]
+    fn uniform_preserves_endpoints_and_count() {
+        let r = resample_uniform(&path(), 5);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r[0], Point::new(0.0, 0.0));
+        assert_eq!(r[4], Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn uniform_spacing_is_even() {
+        let r = resample_uniform(&path(), 9);
+        let steps: Vec<f64> = r.points().windows(2).map(|w| w[0].dist(&w[1])).collect();
+        // Total path length 2.0 over 8 steps = 0.25 each.
+        for s in steps {
+            assert!((s - 0.25).abs() < 1e-9, "uneven step {s}");
+        }
+    }
+
+    #[test]
+    fn uniform_midpoint_lands_on_corner() {
+        // The path's halfway arc length is exactly the corner (1, 0).
+        let r = resample_uniform(&path(), 3);
+        assert!((r[1].lon - 1.0).abs() < 1e-9 && r[1].lat.abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let single = Trajectory::from_coords(&[(2.0, 3.0)]);
+        let r = resample_uniform(&single, 4);
+        assert_eq!(r.len(), 4);
+        assert!(r.points().iter().all(|&p| p == Point::new(2.0, 3.0)));
+        let stationary = Trajectory::from_coords(&[(1.0, 1.0); 3]);
+        assert_eq!(resample_uniform(&stationary, 5).len(), 5);
+    }
+
+    #[test]
+    fn densify_caps_segment_length() {
+        let sparse = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0)]);
+        let dense = densify(&sparse, 0.3);
+        assert!(dense.len() > 2);
+        for w in dense.points().windows(2) {
+            assert!(w[0].dist(&w[1]) <= 0.3 + 1e-9);
+        }
+        assert_eq!(dense[0], sparse[0]);
+        assert_eq!(dense[dense.len() - 1], sparse[1]);
+    }
+
+    #[test]
+    fn densify_leaves_dense_paths_alone() {
+        let t = path();
+        let d = densify(&t, 10.0);
+        assert_eq!(d, t);
+    }
+
+    #[test]
+    fn resample_then_metrics_are_close() {
+        // Resampling should barely change DTW to a third trajectory when
+        // the point budget is generous.
+        use crate::metrics::dtw;
+        let a = path();
+        let b = Trajectory::from_coords(&[(0.0, 0.5), (1.0, 0.5)]);
+        let a_resampled = resample_uniform(&a, 24);
+        let d1 = dtw(&a, &b) / a.len() as f64;
+        let d2 = dtw(&a_resampled, &b) / a_resampled.len() as f64;
+        assert!((d1 - d2).abs() < 0.2, "per-point DTW changed too much: {d1} vs {d2}");
+    }
+}

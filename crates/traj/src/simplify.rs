@@ -1,0 +1,141 @@
+//! Trajectory simplification: Douglas–Peucker (error-bounded) in addition
+//! to the even-stride compression Traj2SimVec uses (`Trajectory::simplify`).
+//!
+//! Simplification shortens the O(n²) ground-truth computation and is the
+//! preprocessing step behind Traj2SimVec's k-d-tree sampling.
+
+use crate::{Point, Trajectory};
+
+/// Perpendicular distance from `p` to the segment `(a, b)`.
+fn segment_distance(p: &Point, a: &Point, b: &Point) -> f64 {
+    let (dx, dy) = (b.lon - a.lon, b.lat - a.lat);
+    let len_sq = dx * dx + dy * dy;
+    if len_sq < 1e-24 {
+        return p.dist(a);
+    }
+    let t = (((p.lon - a.lon) * dx + (p.lat - a.lat) * dy) / len_sq).clamp(0.0, 1.0);
+    let proj = Point::new(a.lon + t * dx, a.lat + t * dy);
+    p.dist(&proj)
+}
+
+/// Douglas–Peucker simplification with tolerance `eps` (coordinate units).
+///
+/// Keeps the first and last points; recursively keeps the farthest point of
+/// each span whose deviation exceeds `eps`. Deterministic, order-preserving.
+pub fn douglas_peucker(t: &Trajectory, eps: f64) -> Trajectory {
+    assert!(eps >= 0.0, "douglas_peucker: eps must be non-negative");
+    let pts = t.points();
+    if pts.len() <= 2 {
+        return t.clone();
+    }
+    let mut keep = vec![false; pts.len()];
+    keep[0] = true;
+    keep[pts.len() - 1] = true;
+    // Iterative stack of (start, end) spans to avoid recursion depth limits.
+    let mut stack = vec![(0usize, pts.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (mut worst, mut worst_d) = (lo, -1.0f64);
+        for (i, p) in pts.iter().enumerate().take(hi).skip(lo + 1) {
+            let d = segment_distance(p, &pts[lo], &pts[hi]);
+            if d > worst_d {
+                worst = i;
+                worst_d = d;
+            }
+        }
+        if worst_d > eps {
+            keep[worst] = true;
+            stack.push((lo, worst));
+            stack.push((worst, hi));
+        }
+    }
+    pts.iter()
+        .zip(&keep)
+        .filter_map(|(p, &k)| k.then_some(*p))
+        .collect()
+}
+
+/// Maximum perpendicular deviation of `original` from the polyline
+/// `simplified` (a quality measure for simplification).
+pub fn max_deviation(original: &Trajectory, simplified: &Trajectory) -> f64 {
+    assert!(simplified.len() >= 2, "max_deviation: simplified needs >= 2 points");
+    let segs = simplified.points();
+    original
+        .points()
+        .iter()
+        .map(|p| {
+            segs.windows(2)
+                .map(|w| segment_distance(p, &w[0], &w[1]))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zigzag(n: usize, amp: f64) -> Trajectory {
+        (0..n)
+            .map(|i| Point::new(i as f64, if i % 2 == 0 { 0.0 } else { amp }))
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_collapses_to_endpoints() {
+        let t: Trajectory = (0..20).map(|i| Point::new(i as f64, 2.0 * i as f64)).collect();
+        let s = douglas_peucker(&t, 1e-9);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], t[0]);
+        assert_eq!(s[1], t[19]);
+    }
+
+    #[test]
+    fn zero_eps_keeps_all_nontrivial_points() {
+        let t = zigzag(9, 1.0);
+        let s = douglas_peucker(&t, 0.0);
+        assert_eq!(s.len(), 9);
+    }
+
+    #[test]
+    fn tolerance_controls_point_count() {
+        let t = zigzag(21, 0.5);
+        let fine = douglas_peucker(&t, 0.1);
+        let coarse = douglas_peucker(&t, 1.0);
+        assert!(coarse.len() < fine.len());
+        assert!(coarse.len() >= 2);
+    }
+
+    #[test]
+    fn deviation_bounded_by_eps() {
+        let t: Trajectory = (0..50)
+            .map(|i| {
+                let x = i as f64 * 0.1;
+                Point::new(x, (x * 2.0).sin())
+            })
+            .collect();
+        for eps in [0.05, 0.2, 0.5] {
+            let s = douglas_peucker(&t, eps);
+            let dev = max_deviation(&t, &s);
+            assert!(dev <= eps + 1e-9, "eps {eps}: deviation {dev}");
+        }
+    }
+
+    #[test]
+    fn short_trajectories_pass_through() {
+        let t = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 1.0)]);
+        assert_eq!(douglas_peucker(&t, 0.5), t);
+        let single = Trajectory::from_coords(&[(3.0, 3.0)]);
+        assert_eq!(douglas_peucker(&single, 0.5).len(), 1);
+    }
+
+    #[test]
+    fn endpoints_always_preserved() {
+        let t = zigzag(15, 0.3);
+        let s = douglas_peucker(&t, 10.0);
+        assert_eq!(s[0], t[0]);
+        assert_eq!(s[s.len() - 1], t[14]);
+    }
+}

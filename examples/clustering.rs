@@ -1,0 +1,106 @@
+//! Trajectory clustering over learned embeddings — another application the
+//! paper's introduction motivates. K-means over O(d) vectors replaces
+//! quadratic exact-metric clustering.
+//!
+//! Run with: `cargo run --release --example clustering`
+
+use tmn::prelude::*;
+
+/// Plain k-means over `f32` vectors; returns (assignments, inertia).
+fn kmeans(data: &[Vec<f32>], k: usize, iters: usize, seed: u64) -> (Vec<usize>, f64) {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    assert!(k >= 1 && k <= data.len());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.shuffle(&mut rng);
+    let mut centroids: Vec<Vec<f32>> = idx[..k].iter().map(|&i| data[i].clone()).collect();
+    let mut assign = vec![0usize; data.len()];
+    let dim = data[0].len();
+    for _ in 0..iters {
+        // Assignment step.
+        for (i, v) in data.iter().enumerate() {
+            let mut best = (0usize, f64::INFINITY);
+            for (c, centre) in centroids.iter().enumerate() {
+                let d = tmn::eval::embedding_distance(v, centre);
+                if d < best.1 {
+                    best = (c, d);
+                }
+            }
+            assign[i] = best.0;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (v, &c) in data.iter().zip(&assign) {
+            counts[c] += 1;
+            for (s, x) in sums[c].iter_mut().zip(v) {
+                *s += x;
+            }
+        }
+        for (c, (sum, &count)) in sums.iter().zip(&counts).enumerate() {
+            if count > 0 {
+                centroids[c] = sum.iter().map(|s| s / count as f32).collect();
+            }
+        }
+    }
+    let inertia: f64 = data
+        .iter()
+        .zip(&assign)
+        .map(|(v, &c)| tmn::eval::embedding_distance(v, &centroids[c]).powi(2))
+        .sum();
+    (assign, inertia)
+}
+
+fn main() {
+    // Three planted fleets: trajectories running along three distinct
+    // corridors, plus noise.
+    let corridors = [(0.15f64, 0.2f64), (0.5, 0.55), (0.85, 0.8)];
+    let mut trajs: Vec<Trajectory> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    for (label, &(y0, y1)) in corridors.iter().enumerate() {
+        for j in 0..40 {
+            let wobble = (j as f64 * 0.37).sin() * 0.03;
+            let t: Trajectory = (0..24)
+                .map(|i| {
+                    let s = i as f64 / 23.0;
+                    Point::new(s, y0 + (y1 - y0) * s + wobble * (s * 9.0).cos())
+                })
+                .collect();
+            trajs.push(t);
+            labels.push(label);
+        }
+    }
+
+    // Train an independent encoder under Hausdorff on an interleaved sample
+    // (every 4th trajectory, so all three corridors are represented).
+    let params = MetricParams::default();
+    let metric = Metric::Hausdorff;
+    let train: Vec<Trajectory> = trajs.iter().step_by(4).cloned().collect();
+    let train = &train[..];
+    let dmat = DistanceMatrix::compute(train, metric, &params, 2);
+    let model = ModelKind::TmnNm.build(&ModelConfig { dim: 16, seed: 8 });
+    let cfg = TrainConfig { epochs: 4, ..Default::default() };
+    let mut trainer =
+        Trainer::new(model.as_ref(), train, &dmat, metric, params, Box::new(RankSampler), cfg, None);
+    println!("training encoder under {metric} on {} trajectories...", train.len());
+    trainer.train();
+
+    // Embed everything, cluster with k-means.
+    let embeddings = encode_all(model.as_ref(), &trajs, 64);
+    let (assign, inertia) = kmeans(&embeddings, 3, 25, 1);
+    println!("k-means over embeddings: inertia {inertia:.4}");
+
+    // Purity: fraction of points whose cluster's majority label matches.
+    let mut majority = [[0usize; 3]; 3];
+    for (&a, &l) in assign.iter().zip(&labels) {
+        majority[a][l] += 1;
+    }
+    let pure: usize = majority.iter().map(|row| row.iter().max().unwrap()).sum();
+    let purity = pure as f64 / trajs.len() as f64;
+    println!("cluster purity vs planted corridors: {purity:.3}");
+    for (c, row) in majority.iter().enumerate() {
+        println!("  cluster {c}: corridor counts {row:?}");
+    }
+    assert!(purity > 0.9, "embeddings failed to separate the planted corridors");
+}

@@ -1,0 +1,88 @@
+//! Indexed nearest-neighbour search over learned embeddings: train a model,
+//! embed the test set once, index with HNSW, and compare indexed vs
+//! brute-force search — the "existing multi-dimensional indexing techniques
+//! can be immediately used" benefit the paper's introduction highlights.
+//!
+//! Run with: `cargo run --release --example knn_search`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use tmn::prelude::*;
+
+fn main() {
+    // 1. Train an independent encoder (TMN-NM: every trajectory gets one
+    //    embedding, so the whole database is encoded once).
+    let ds = Dataset::generate(&DatasetConfig::new(DatasetKind::GeolifeLike, 400, 11));
+    let params = MetricParams::default();
+    let metric = Metric::Hausdorff;
+    let dmat = ds.train_distance_matrix(metric, &params, 2);
+    let model = ModelKind::TmnNm.build(&ModelConfig { dim: 32, seed: 2 });
+    let cfg = TrainConfig { epochs: 5, ..Default::default() };
+    let mut trainer = Trainer::new(
+        model.as_ref(), &ds.train, &dmat, metric, params, Box::new(RankSampler), cfg, None,
+    );
+    println!("training TMN-NM under {metric}...");
+    trainer.train();
+
+    // 2. Embed the whole test database once.
+    let t0 = Instant::now();
+    let embeddings = encode_all(model.as_ref(), &ds.test, 64);
+    println!(
+        "embedded {} trajectories in {:.2}s ({:.5}s each)",
+        embeddings.len(),
+        t0.elapsed().as_secs_f64(),
+        t0.elapsed().as_secs_f64() / embeddings.len() as f64
+    );
+
+    // 3. Index with HNSW.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut index = Hnsw::new(32, HnswConfig::default());
+    let t1 = Instant::now();
+    for e in &embeddings {
+        index.insert(e, &mut rng);
+    }
+    println!("built HNSW over {} vectors in {:.2}s", index.len(), t1.elapsed().as_secs_f64());
+
+    // 4. Query: indexed vs brute force, measuring recall and speed.
+    let k = 10;
+    let queries: Vec<usize> = (0..50).collect();
+    let t2 = Instant::now();
+    let hnsw_results: Vec<Vec<usize>> = queries
+        .iter()
+        .map(|&q| index.knn(&embeddings[q], k + 1).into_iter().map(|(i, _)| i).filter(|&i| i != q).take(k).collect())
+        .collect();
+    let hnsw_time = t2.elapsed().as_secs_f64();
+
+    let t3 = Instant::now();
+    let brute_results: Vec<Vec<usize>> = queries
+        .iter()
+        .map(|&q| {
+            let row: Vec<f64> =
+                embeddings.iter().map(|e| tmn::eval::embedding_distance(&embeddings[q], e)).collect();
+            top_k_indices(&row, k, q)
+        })
+        .collect();
+    let brute_time = t3.elapsed().as_secs_f64();
+
+    let mut hits = 0usize;
+    for (h, b) in hnsw_results.iter().zip(&brute_results) {
+        hits += h.iter().filter(|x| b.contains(x)).count();
+    }
+    println!(
+        "HNSW vs brute force: recall@{k} = {:.3}, {:.4}s vs {:.4}s for {} queries",
+        hits as f64 / (k * queries.len()) as f64,
+        hnsw_time,
+        brute_time,
+        queries.len()
+    );
+
+    // 5. Quality against the exact metric.
+    let test_dmat = ds.test_distance_matrix(metric, &params, 2);
+    let pred: Vec<Vec<f64>> = queries
+        .iter()
+        .map(|&q| embeddings.iter().map(|e| tmn::eval::embedding_distance(&embeddings[q], e)).collect())
+        .collect();
+    let truth: Vec<Vec<f64>> = queries.iter().map(|&q| test_dmat.row(q).to_vec()).collect();
+    println!("search quality vs exact {metric}: {}", evaluate(&pred, &truth, &queries));
+}

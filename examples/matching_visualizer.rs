@@ -1,0 +1,99 @@
+//! Figure 1 companion: print the point match pairs that DTW (and LCSS)
+//! induce between two trajectories — the cross-trajectory correspondence
+//! information TMN's matching mechanism learns to imitate.
+//!
+//! Run with: `cargo run --release --example matching_visualizer`
+
+use tmn::prelude::*;
+use tmn::traj::metrics::{
+    dtw_matching, erp_alignment, frechet_matching, hausdorff_witness, lcss_matching, EditOp,
+};
+
+/// Render two trajectories and their match pairs on an ASCII canvas.
+fn render(a: &Trajectory, b: &Trajectory, pairs: &[(usize, usize)]) -> String {
+    const W: usize = 64;
+    const H: usize = 18;
+    let all: Vec<Point> = a.points().iter().chain(b.points()).copied().collect();
+    let (min_x, max_x) = all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), p| (lo.min(p.lon), hi.max(p.lon)));
+    let (min_y, max_y) = all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), p| (lo.min(p.lat), hi.max(p.lat)));
+    let to_cell = |p: &Point| {
+        let x = ((p.lon - min_x) / (max_x - min_x).max(1e-12) * (W - 1) as f64).round() as usize;
+        let y = ((p.lat - min_y) / (max_y - min_y).max(1e-12) * (H - 1) as f64).round() as usize;
+        (x.min(W - 1), (H - 1) - y.min(H - 1))
+    };
+    let mut canvas = vec![vec![' '; W]; H];
+    // Match lines first so the points draw over them.
+    for &(i, j) in pairs {
+        let (x0, y0) = to_cell(&a[i]);
+        let (x1, y1) = to_cell(&b[j]);
+        let steps = x0.abs_diff(x1).max(y0.abs_diff(y1)).max(1);
+        for s in 0..=steps {
+            let x = x0 as f64 + (x1 as f64 - x0 as f64) * s as f64 / steps as f64;
+            let y = y0 as f64 + (y1 as f64 - y0 as f64) * s as f64 / steps as f64;
+            let cell = &mut canvas[y.round() as usize][x.round() as usize];
+            if *cell == ' ' {
+                *cell = '.';
+            }
+        }
+    }
+    for p in a.points() {
+        let (x, y) = to_cell(p);
+        canvas[y][x] = 'a';
+    }
+    for p in b.points() {
+        let (x, y) = to_cell(p);
+        canvas[y][x] = 'b';
+    }
+    canvas.into_iter().map(|row| row.into_iter().collect::<String>()).collect::<Vec<_>>().join("\n")
+}
+
+fn main() {
+    // Two roughly parallel trajectories with different sampling rates, like
+    // the pair in the paper's Figure 1.
+    let ta: Trajectory = (0..12)
+        .map(|i| {
+            let t = i as f64 / 11.0;
+            Point::new(t, 0.35 + 0.25 * (t * std::f64::consts::PI).sin())
+        })
+        .collect();
+    let tb: Trajectory = (0..8)
+        .map(|i| {
+            let t = i as f64 / 7.0;
+            Point::new(t, 0.12 + 0.18 * (t * std::f64::consts::PI).sin())
+        })
+        .collect();
+
+    let (dtw_d, dtw_pairs) = dtw_matching(&ta, &tb);
+    println!("DTW distance {dtw_d:.4}; matched point pairs (i of T_a -> j of T_b):");
+    println!("  {dtw_pairs:?}");
+    println!("{}\n", render(&ta, &tb, &dtw_pairs));
+
+    let (fr_d, fr_pairs) = frechet_matching(&ta, &tb);
+    println!("Discrete Frechet distance {fr_d:.4} with coupling of {} steps", fr_pairs.len());
+
+    let (l, lcss_pairs) = lcss_matching(&ta, &tb, 0.3);
+    println!("LCSS length {l} (eps=0.3); common-subsequence pairs: {lcss_pairs:?}");
+
+    let (erp_d, ops) = erp_alignment(&ta, &tb, Point::new(0.0, 0.0));
+    let aligned = ops.iter().filter(|o| matches!(o, EditOp::Align(_, _))).count();
+    let gaps = ops.len() - aligned;
+    println!("ERP distance {erp_d:.4}: {aligned} aligned pairs, {gaps} gap edits");
+
+    let (h_d, w) = hausdorff_witness(&ta, &tb);
+    println!(
+        "Hausdorff distance {h_d:.4}, realized by point {} of {} matched to point {} of the other",
+        w.i,
+        if w.from_a { "T_a" } else { "T_b" },
+        w.j
+    );
+
+    // The learned counterpart: TMN's attention weights over T_b for each
+    // point of T_a (untrained network — the *mechanism*, not the fit).
+    let model = tmn::core::Tmn::new(&ModelConfig { dim: 16, seed: 5 }, true);
+    let batch = PairBatch::build(&[&ta], &[&tb]);
+    let enc = model.encode_pairs(&batch);
+    println!(
+        "\nTMN encodes the pair jointly: representation shape {:?} per side (last row = trajectory vector)",
+        enc.out_a.shape()
+    );
+}

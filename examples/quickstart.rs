@@ -1,0 +1,56 @@
+//! Quickstart: train TMN on a small synthetic Porto-like dataset under DTW
+//! and run a top-k similarity search.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tmn::prelude::*;
+
+fn main() {
+    // 1. Data: 300 taxi-like trajectories, 20% train / 80% test, normalized.
+    println!("generating Porto-like dataset...");
+    let ds = Dataset::generate(&DatasetConfig::new(DatasetKind::PortoLike, 300, 7));
+    println!("  train {}, test {}", ds.train.len(), ds.test.len());
+
+    // 2. Ground truth: DTW distance matrix over the training set.
+    let params = MetricParams::default();
+    let metric = Metric::Dtw;
+    println!("computing ground-truth {metric} distances...");
+    let dmat = ds.train_distance_matrix(metric, &params, 2);
+
+    // 3. Train TMN with the paper's recipe (rank sampling, weighted MSE +
+    //    sub-trajectory loss).
+    let model = ModelKind::Tmn.build(&ModelConfig { dim: 32, seed: 1 });
+    let cfg = TrainConfig { epochs: 6, ..Default::default() };
+    let mut trainer = Trainer::new(
+        model.as_ref(),
+        &ds.train,
+        &dmat,
+        metric,
+        params,
+        Box::new(RankSampler),
+        cfg,
+        None,
+    );
+    println!("training TMN (d=32, {} epochs)...", cfg.epochs);
+    let stats = trainer.train();
+    for e in &stats.epochs {
+        println!("  epoch {}: loss {:.5} ({:.1}s, {} pairs)", e.epoch, e.loss, e.seconds, e.pairs);
+    }
+
+    // 4. Evaluate: top-k similarity search on the test set.
+    println!("evaluating top-k similarity search on {} queries...", 30);
+    let queries: Vec<usize> = (0..30).collect();
+    let pred = predicted_distance_rows(model.as_ref(), &ds.test, &queries, 64);
+    let test_dmat = ds.test_distance_matrix(metric, &params, 2);
+    let truth: Vec<Vec<f64>> = queries.iter().map(|&q| test_dmat.row(q).to_vec()).collect();
+    let eval = evaluate(&pred, &truth, &queries);
+    println!("  {eval}");
+
+    // 5. One concrete query: learned top-5 vs exact top-5.
+    let q = 0usize;
+    let learned = top_k_indices(&pred[0], 5, q);
+    let exact = top_k_indices(test_dmat.row(q), 5, q);
+    println!("query {q}: learned top-5 {learned:?} vs exact top-5 {exact:?}");
+    let hits = learned.iter().filter(|i| exact.contains(i)).count();
+    println!("  {hits}/5 recovered by the learned index");
+}

@@ -1,0 +1,143 @@
+//! End-to-end integration tests spanning data generation, ground truth,
+//! training, and evaluation.
+
+use tmn::prelude::*;
+
+fn small_dataset(kind: DatasetKind, n: usize, seed: u64) -> Dataset {
+    let mut cfg = DatasetConfig::new(kind, n, seed);
+    cfg.gen.min_len = 12;
+    cfg.gen.max_len = 32;
+    Dataset::generate(&cfg)
+}
+
+fn quick_train(
+    model: &dyn PairModel,
+    ds: &Dataset,
+    dmat: &DistanceMatrix,
+    metric: Metric,
+    epochs: usize,
+) -> TrainStats {
+    let cfg = TrainConfig { epochs, sampling_number: 8, batch_pairs: 16, ..Default::default() };
+    let mut trainer = Trainer::new(
+        model,
+        &ds.train,
+        dmat,
+        metric,
+        MetricParams::default(),
+        Box::new(RankSampler),
+        cfg,
+        None,
+    );
+    trainer.train()
+}
+
+#[test]
+fn training_reduces_loss_and_beats_random_ranking() {
+    let ds = small_dataset(DatasetKind::PortoLike, 150, 3);
+    let params = MetricParams::default();
+    let dmat = ds.train_distance_matrix(Metric::Dtw, &params, 2);
+    let model = ModelKind::Tmn.build(&ModelConfig { dim: 16, seed: 1 });
+    let stats = quick_train(model.as_ref(), &ds, &dmat, Metric::Dtw, 4);
+    assert!(stats.final_loss() < stats.epochs[0].loss, "loss should decrease");
+
+    let queries: Vec<usize> = (0..15).collect();
+    let pred = predicted_distance_rows(model.as_ref(), &ds.test, &queries, 32);
+    let test_dmat = ds.test_distance_matrix(Metric::Dtw, &params, 2);
+    let truth: Vec<Vec<f64>> = queries.iter().map(|&q| test_dmat.row(q).to_vec()).collect();
+    let eval = evaluate(&pred, &truth, &queries);
+    // Random ranking would give HR-10 ≈ 10/(N−1) ≈ 0.08; trained TMN must
+    // do clearly better even with this tiny budget.
+    assert!(eval.hr10 > 0.15, "HR-10 {} not above random", eval.hr10);
+}
+
+#[test]
+fn tmn_outperforms_ablation_on_matching_metric() {
+    // The paper's headline: the matching mechanism helps most on
+    // matching-based metrics (DTW). Compare TMN vs TMN-NM under an
+    // identical budget and seed.
+    let ds = small_dataset(DatasetKind::PortoLike, 200, 5);
+    let params = MetricParams::default();
+    let dmat = ds.train_distance_matrix(Metric::Dtw, &params, 2);
+    let test_dmat = ds.test_distance_matrix(Metric::Dtw, &params, 2);
+    let queries: Vec<usize> = (0..25).collect();
+    let truth: Vec<Vec<f64>> = queries.iter().map(|&q| test_dmat.row(q).to_vec()).collect();
+
+    let mut scores = Vec::new();
+    for kind in [ModelKind::Tmn, ModelKind::TmnNm] {
+        let model = kind.build(&ModelConfig { dim: 16, seed: 2 });
+        quick_train(model.as_ref(), &ds, &dmat, Metric::Dtw, 5);
+        let pred = predicted_distance_rows(model.as_ref(), &ds.test, &queries, 32);
+        scores.push(evaluate(&pred, &truth, &queries).hr10);
+    }
+    assert!(
+        scores[0] > scores[1],
+        "TMN (HR-10 {}) should beat TMN-NM (HR-10 {}) under DTW",
+        scores[0],
+        scores[1]
+    );
+}
+
+#[test]
+fn every_model_kind_improves_over_untrained_self() {
+    let ds = small_dataset(DatasetKind::GeolifeLike, 120, 9);
+    let params = MetricParams::default();
+    let dmat = ds.train_distance_matrix(Metric::Hausdorff, &params, 2);
+    let test_dmat = ds.test_distance_matrix(Metric::Hausdorff, &params, 2);
+    let queries: Vec<usize> = (0..10).collect();
+    let truth: Vec<Vec<f64>> = queries.iter().map(|&q| test_dmat.row(q).to_vec()).collect();
+    for kind in ModelKind::ALL {
+        let model = kind.build(&ModelConfig { dim: 16, seed: 3 });
+        let before = {
+            let pred = predicted_distance_rows(model.as_ref(), &ds.test, &queries, 32);
+            evaluate(&pred, &truth, &queries).r10_50
+        };
+        quick_train(model.as_ref(), &ds, &dmat, Metric::Hausdorff, 3);
+        let after = {
+            let pred = predicted_distance_rows(model.as_ref(), &ds.test, &queries, 32);
+            evaluate(&pred, &truth, &queries).r10_50
+        };
+        assert!(
+            after >= before || after > 0.5,
+            "{kind}: R10@50 degraded after training ({before} -> {after})"
+        );
+    }
+}
+
+#[test]
+fn embeddings_feed_hnsw_index() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let ds = small_dataset(DatasetKind::PortoLike, 120, 13);
+    let model = ModelKind::Srn.build(&ModelConfig { dim: 16, seed: 4 });
+    let emb = encode_all(model.as_ref(), &ds.test, 32);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut index = Hnsw::new(16, HnswConfig::default());
+    for e in &emb {
+        index.insert(e, &mut rng);
+    }
+    // HNSW top-1 of each embedding is itself.
+    for (i, e) in emb.iter().enumerate().take(10) {
+        let nn = index.knn(e, 1);
+        assert_eq!(nn[0].0, i);
+    }
+}
+
+#[test]
+fn weight_snapshot_reproduces_predictions() {
+    let ds = small_dataset(DatasetKind::PortoLike, 80, 17);
+    let params = MetricParams::default();
+    let dmat = ds.train_distance_matrix(Metric::Dtw, &params, 2);
+    let model = ModelKind::Tmn.build(&ModelConfig { dim: 16, seed: 5 });
+    quick_train(model.as_ref(), &ds, &dmat, Metric::Dtw, 2);
+    let snap = model.params().snapshot();
+    let queries = vec![0usize];
+    let before = predicted_distance_rows(model.as_ref(), &ds.test, &queries, 16);
+
+    // A fresh model restored from the snapshot predicts identically.
+    let clone = ModelKind::Tmn.build(&ModelConfig { dim: 16, seed: 99 });
+    clone.params().restore(&snap);
+    let after = predicted_distance_rows(clone.as_ref(), &ds.test, &queries, 16);
+    for (x, y) in before[0].iter().zip(&after[0]) {
+        assert!((x - y).abs() < 1e-6, "snapshot restore changed predictions");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests on the model pipeline: batching invariants, mask
+//! correctness under arbitrary lengths, and prediction sanity.
+
+use proptest::prelude::*;
+use tmn::prelude::*;
+
+fn arb_trajectory(min_len: usize, max_len: usize) -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), min_len..=max_len)
+        .prop_map(|coords| Trajectory::from_coords(&coords))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn encoding_is_finite_for_arbitrary_pairs(
+        a in arb_trajectory(1, 24),
+        b in arb_trajectory(1, 24),
+    ) {
+        let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 1 });
+        let batch = PairBatch::build(&[&a], &[&b]);
+        let enc = model.encode_pairs(&batch);
+        prop_assert!(enc.out_a.to_vec().iter().all(|v| v.is_finite()));
+        prop_assert!(enc.out_b.to_vec().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn batch_order_does_not_change_encodings(
+        a1 in arb_trajectory(2, 16),
+        b1 in arb_trajectory(2, 16),
+        a2 in arb_trajectory(2, 16),
+        b2 in arb_trajectory(2, 16),
+    ) {
+        // Encoding pair 1 in slot 0 or slot 1 of a batch must not matter
+        // (same padding length either way).
+        let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 2 });
+        let d = model.dim();
+        let fwd = model.encode_pairs(&PairBatch::build(&[&a1, &a2], &[&b1, &b2]));
+        let rev = model.encode_pairs(&PairBatch::build(&[&a2, &a1], &[&b2, &b1]));
+        let m = fwd.out_a.shape()[1];
+        let fwd_row0 = &fwd.out_a.to_vec()[..m * d];
+        let rev_all = rev.out_a.to_vec();
+        let rev_row1 = &rev_all[m * d..];
+        for (x, y) in fwd_row0.iter().zip(rev_row1) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn predicted_similarity_in_unit_interval(
+        a in arb_trajectory(2, 20),
+        b in arb_trajectory(2, 20),
+    ) {
+        // pred = exp(-dist) must land in (0, 1]; verify through the public
+        // evaluation path by checking distances are non-negative and finite.
+        let model = ModelKind::Srn.build(&ModelConfig { dim: 8, seed: 3 });
+        let trajs = vec![a, b];
+        let rows = predicted_distance_rows(model.as_ref(), &trajs, &[0], 2);
+        for &d in &rows[0] {
+            prop_assert!(d.is_finite() && d >= 0.0);
+        }
+    }
+
+    #[test]
+    fn rank_weights_normalized(n in 1usize..64) {
+        let w = tmn::data::rank_weights(n);
+        let sum: f32 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(w.windows(2).all(|p| p[0] > p[1]));
+    }
+
+    #[test]
+    fn sampler_near_closer_than_far(
+        seed in 0u64..500,
+        k in 1usize..6,
+    ) {
+        let trajs: Vec<Trajectory> = (0..24)
+            .map(|i| {
+                let off = i as f64 * 0.04;
+                (0..10).map(|t| Point::new(0.1 * t as f64, off)).collect()
+            })
+            .collect();
+        let dmat = DistanceMatrix::compute(&trajs, Metric::Dtw, &MetricParams::default(), 1);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = RankSampler.sample(seed as usize % trajs.len(), k, &dmat, &mut rng);
+        let row = dmat.row(s.anchor);
+        let max_near = s.near.iter().map(|&(i, _)| row[i]).fold(0.0, f64::max);
+        let min_far = s.far.iter().map(|&(i, _)| row[i]).fold(f64::INFINITY, f64::min);
+        prop_assert!(max_near <= min_far);
+    }
+}
