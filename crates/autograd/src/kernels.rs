@@ -1,0 +1,308 @@
+//! Dense f32 GEMM kernels shared by every matmul-family op.
+//!
+//! The blocked path follows the classic GEBP decomposition: the K dimension
+//! is split into `KC`-deep stripes, rows into `MC`-tall blocks, and both
+//! operands are repacked into contiguous `MR`×`KC` / `KC`×`NR` panels so the
+//! register-tiled microkernel streams packed memory linearly regardless of
+//! the source layout (normal, transposed-B, transposed-A). Edge tiles are
+//! zero-padded inside the packed panels, so the microkernel itself is
+//! branch-free; the masked part is only the final `+=` write-back.
+//!
+//! All three entry points keep the naive kernels' contract: `out` is
+//! *accumulated into*, not overwritten. Small problems fall back to the
+//! [`reference`] kernels — packing costs O(m·k + k·n) writes, which only
+//! pays for itself once the O(m·n·k) multiply dominates.
+
+use std::cell::RefCell;
+
+/// Register tile height (rows of A per microkernel call).
+pub const MR: usize = 4;
+/// Register tile width (columns of B per microkernel call); 8 f32 lanes fill
+/// one AVX register (or two SSE registers), which is what rustc/LLVM
+/// autovectorizes the accumulator update into.
+pub const NR: usize = 8;
+/// K-stripe depth: one packed A panel of `MR`·`KC` f32 stays L1-resident.
+const KC: usize = 256;
+/// Row-block height: the packed A block of `MC`·`KC` f32 targets L2.
+const MC: usize = 128;
+
+/// Below this many multiply-adds the packing overhead outweighs the blocked
+/// kernel; use the naive loops instead.
+const BLOCKED_MIN_FLOPS: usize = 8 * 1024;
+
+thread_local! {
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `out[m,n] += a[m,k] · b[k,n]`, both row-major.
+pub fn mm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    if m * n * k < BLOCKED_MIN_FLOPS {
+        reference::mm_nn(a, b, m, k, n, out);
+    } else {
+        gemm(m, k, n, |i, p| a[i * k + p], |p, j| b[p * n + j], out);
+    }
+}
+
+/// `out[m,n] += a[m,k] · b[n,k]ᵀ` (`b` stored row-major `n`×`k`).
+pub fn mm_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    if m * n * k < BLOCKED_MIN_FLOPS {
+        reference::mm_nt(a, b, m, k, n, out);
+    } else {
+        gemm(m, k, n, |i, p| a[i * k + p], |p, j| b[j * k + p], out);
+    }
+}
+
+/// `out[k,n] += a[m,k]ᵀ · b[m,n]` (`a` stored row-major `m`×`k`).
+pub fn mm_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    if m * n * k < BLOCKED_MIN_FLOPS {
+        reference::mm_tn(a, b, m, k, n, out);
+    } else {
+        // As a plain GEMM this is C[k,n] += A'[k,m]·B[m,n] with A'(i,p) read
+        // down a column of `a`.
+        gemm(k, m, n, |i, p| a[p * k + i], |p, j| b[p * n + j], out);
+    }
+}
+
+/// Cache-blocked `out[m,n] += A·B` with layout-erasing element accessors.
+///
+/// `a_at(i, p)` must return `A[i][p]` (`i < m`, `p < k`); `b_at(p, j)` must
+/// return `B[p][j]` (`j < n`). The accessors are only called during packing,
+/// so their indexing cost is O(m·k + k·n) per K-stripe, not O(m·n·k).
+fn gemm<FA, FB>(m: usize, k: usize, n: usize, a_at: FA, b_at: FB, out: &mut [f32])
+where
+    FA: Fn(usize, usize) -> f32,
+    FB: Fn(usize, usize) -> f32,
+{
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let n_panels = n.div_ceil(NR);
+    let kc_max = KC.min(k);
+    let m_panels_max = MC.min(m).div_ceil(MR);
+    PACK_A.with(|pa| {
+        PACK_B.with(|pb| {
+            let mut ap = pa.borrow_mut();
+            let mut bp = pb.borrow_mut();
+            ap.resize(m_panels_max * kc_max * MR, 0.0);
+            bp.resize(n_panels * kc_max * NR, 0.0);
+
+            for p0 in (0..k).step_by(KC) {
+                let kc = KC.min(k - p0);
+                // Pack B stripe: panel jp holds B[p0..p0+kc, jp*NR..+NR],
+                // kk-major so the microkernel reads NR-wide rows in order.
+                for jp in 0..n_panels {
+                    let j0 = jp * NR;
+                    for kk in 0..kc {
+                        let dst = &mut bp[(jp * kc + kk) * NR..(jp * kc + kk + 1) * NR];
+                        for (jj, d) in dst.iter_mut().enumerate() {
+                            let j = j0 + jj;
+                            *d = if j < n { b_at(p0 + kk, j) } else { 0.0 };
+                        }
+                    }
+                }
+                for i0 in (0..m).step_by(MC) {
+                    let mc = MC.min(m - i0);
+                    let m_panels = mc.div_ceil(MR);
+                    // Pack A block: panel ip holds A[i0+ip*MR..+MR, p0..p0+kc],
+                    // kk-major with MR consecutive rows per kk.
+                    for ip in 0..m_panels {
+                        let i_base = i0 + ip * MR;
+                        for kk in 0..kc {
+                            let dst = &mut ap[(ip * kc + kk) * MR..(ip * kc + kk + 1) * MR];
+                            for (ii, d) in dst.iter_mut().enumerate() {
+                                let i = i_base + ii;
+                                *d = if i < m { a_at(i, p0 + kk) } else { 0.0 };
+                            }
+                        }
+                    }
+                    for jp in 0..n_panels {
+                        let j0 = jp * NR;
+                        let nr = NR.min(n - j0);
+                        let bpan = &bp[jp * kc * NR..(jp + 1) * kc * NR];
+                        for ip in 0..m_panels {
+                            let i_base = i0 + ip * MR;
+                            let mr = MR.min(m - i_base);
+                            let apan = &ap[ip * kc * MR..(ip + 1) * kc * MR];
+                            let mut acc = [[0.0f32; NR]; MR];
+                            microkernel(apan, bpan, kc, &mut acc);
+                            for (ii, acc_row) in acc.iter().enumerate().take(mr) {
+                                let row = (i_base + ii) * n + j0;
+                                for (o, &v) in out[row..row + nr].iter_mut().zip(acc_row) {
+                                    *o += v;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        })
+    });
+}
+
+/// `acc[MR][NR] += Ap·Bp` over one packed `kc`-deep panel pair.
+///
+/// The fixed-size array reads let LLVM keep the full accumulator tile in
+/// registers and vectorize the `NR`-wide FMA row.
+#[inline(always)]
+fn microkernel(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    for kk in 0..kc {
+        let a: [f32; MR] = ap[kk * MR..kk * MR + MR].try_into().unwrap();
+        let b: [f32; NR] = bp[kk * NR..kk * NR + NR].try_into().unwrap();
+        for (acc_row, &av) in acc.iter_mut().zip(&a) {
+            for (o, &bv) in acc_row.iter_mut().zip(&b) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+pub mod reference {
+    //! The original scalar triple-loop kernels, kept as the correctness
+    //! oracle for the blocked path (see `tests/matmul_kernels.rs`) and as
+    //! the small-size fast path — they have zero setup cost.
+
+    /// `out[m,n] += a[m,k] · b[k,n]` (ikj order; rows of `b` stream contiguously).
+    pub fn mm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av != 0.0 {
+                    let brow = &b[kk * n..(kk + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `out[m,n] += a[m,k] · b[n,k]ᵀ` (rows of both operands are contiguous dots).
+    pub fn mm_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                out[i * n + j] += acc;
+            }
+        }
+    }
+
+    /// `out[k,n] += a[m,k]ᵀ · b[m,n]` (outer-product accumulation).
+    pub fn mm_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let brow = &b[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av != 0.0 {
+                    let orow = &mut out[p * n..(p + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        // Small deterministic pseudo-random values in [-1, 1).
+        let mut state = seed.wrapping_mul(2654435761).max(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 17;
+                state ^= state << 5;
+                (state as f32 / u32::MAX as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn assert_close(got: &[f32], want: &[f32], k: usize) {
+        assert_eq!(got.len(), want.len());
+        // Relative to the dot-product length: each output is a sum of k terms.
+        let tol = 1e-5 * (k as f32).max(1.0);
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            let denom = w.abs().max(1.0);
+            assert!(
+                (g - w).abs() / denom < tol,
+                "elem {i}: blocked {g} vs reference {w} (k={k})"
+            );
+        }
+    }
+
+    /// Shapes straddling every edge case: unit dims, exact tile multiples,
+    /// off-by-one around MR/NR, and sizes crossing the KC/MC block borders.
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (1, 300, 1),
+        (3, 5, 7),
+        (4, 16, 8),
+        (5, 17, 9),
+        (MR, KC, NR),
+        (MR + 1, KC + 3, NR + 1),
+        (33, 64, 50),
+        (MC + 5, 40, 2 * NR + 3),
+        (64, 2 * KC + 7, 24),
+    ];
+
+    #[test]
+    fn blocked_nn_matches_reference() {
+        for &(m, k, n) in SHAPES {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            let mut got = vec![0.25f32; m * n]; // nonzero: verifies +=
+            let mut want = got.clone();
+            mm_nn(&a, &b, m, k, n, &mut got);
+            reference::mm_nn(&a, &b, m, k, n, &mut want);
+            assert_close(&got, &want, k);
+        }
+    }
+
+    #[test]
+    fn blocked_nt_matches_reference() {
+        for &(m, k, n) in SHAPES {
+            let a = fill(m * k, 3);
+            let b = fill(n * k, 4);
+            let mut got = vec![0.0f32; m * n];
+            let mut want = vec![0.0f32; m * n];
+            mm_nt(&a, &b, m, k, n, &mut got);
+            reference::mm_nt(&a, &b, m, k, n, &mut want);
+            assert_close(&got, &want, k);
+        }
+    }
+
+    #[test]
+    fn blocked_tn_matches_reference() {
+        for &(m, k, n) in SHAPES {
+            let a = fill(m * k, 5);
+            let b = fill(m * n, 6);
+            let mut got = vec![0.0f32; k * n];
+            let mut want = vec![0.0f32; k * n];
+            mm_tn(&a, &b, m, k, n, &mut got);
+            reference::mm_tn(&a, &b, m, k, n, &mut want);
+            assert_close(&got, &want, m);
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_are_noops_or_exact() {
+        let mut out = vec![1.0f32; 0];
+        mm_nn(&[], &[], 0, 4, 0, &mut out);
+        let a = fill(6, 7);
+        let mut out = vec![0.5f32; 6];
+        mm_nn(&a, &[], 3, 0, 2, &mut out); // k = 0: out unchanged
+        assert_eq!(out, vec![0.5; 6]);
+    }
+}

@@ -32,9 +32,12 @@
 //! assert!((w.to_vec()[0] - 2.0).abs() < 1e-2);
 //! ```
 
+pub mod kernels;
 pub mod nn;
 pub mod ops;
 pub mod optim;
 mod tensor;
+pub mod threading;
 
 pub use tensor::{grad_enabled, no_grad, BackCtx, Tensor};
+pub use threading::{intra_op_threads, set_intra_op_threads};

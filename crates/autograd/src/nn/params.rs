@@ -69,6 +69,28 @@ impl ParamSet {
         acc.sqrt()
     }
 
+    /// Copy out all gradients in registration order; parameters with no
+    /// gradient yield zeros. Shape-compatible with [`accumulate_grads`]
+    /// (`Self::accumulate_grads`) — together they move gradients between
+    /// model replicas for data-parallel training, the same way
+    /// [`snapshot`](Self::snapshot)/[`restore`](Self::restore) move weights.
+    pub fn grad_snapshot(&self) -> Vec<Vec<f32>> {
+        self.params
+            .iter()
+            .map(|(_, t)| t.grad().unwrap_or_else(|| vec![0.0; t.numel()]))
+            .collect()
+    }
+
+    /// Add `grads` (one buffer per parameter, registration order) into each
+    /// parameter's gradient accumulator.
+    pub fn accumulate_grads(&self, grads: &[Vec<f32>]) {
+        assert_eq!(grads.len(), self.params.len(), "gradient row count mismatch");
+        for ((name, t), g) in self.params.iter().zip(grads) {
+            assert_eq!(t.numel(), g.len(), "gradient length mismatch for {name}");
+            t.accumulate_grad(g);
+        }
+    }
+
     /// Copy out all weights as `(name, shape, data)` rows.
     pub fn snapshot(&self) -> Vec<(String, Vec<usize>, Vec<f32>)> {
         self.params

@@ -2,55 +2,16 @@
 //!
 //! `bmm_nt` (`a · bᵀ` per batch) exists so the matching mechanism
 //! `P = softmax(X_a X_bᵀ)` never materializes a transpose.
+//!
+//! The arithmetic lives in [`crate::kernels`] (cache-blocked GEMM with a
+//! naive fallback). The batch loops of `bmm_nn`/`bmm_nt` — forward and both
+//! backward products — fan out over intra-op worker threads via
+//! [`crate::threading::par_batch`]: batch items write disjoint `chunks_mut`
+//! slices, so no tensor ever crosses a thread boundary.
 
+use crate::kernels::{mm_nn, mm_nt, mm_tn};
+use crate::threading::par_batch;
 use crate::Tensor;
-
-/// `out[m,n] += a[m,k] · b[k,n]` (ikj order; rows of `b` stream contiguously).
-pub(crate) fn mm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av != 0.0 {
-                let brow = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
-    }
-}
-
-/// `out[m,n] += a[m,k] · b[n,k]ᵀ` (rows of both operands are contiguous dots).
-pub(crate) fn mm_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            out[i * n + j] += acc;
-        }
-    }
-}
-
-/// `out[k,n] += a[m,k]ᵀ · b[m,n]` (outer-product accumulation).
-pub(crate) fn mm_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let brow = &b[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av != 0.0 {
-                let orow = &mut out[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
-    }
-}
 
 /// 2-D matrix product: `[m, k] · [k, n] -> [m, n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
@@ -88,48 +49,30 @@ pub fn bmm_nn(a: &Tensor, b: &Tensor) -> Tensor {
     let (bs, m, k, n) = (sa[0], sa[1], sa[2], sb[2]);
     let mut data = vec![0.0f32; bs * m * n];
     {
-        let (ad, bd) = (a.data(), b.data());
-        for i in 0..bs {
-            mm_nn(
-                &ad[i * m * k..(i + 1) * m * k],
-                &bd[i * k * n..(i + 1) * k * n],
-                m,
-                k,
-                n,
-                &mut data[i * m * n..(i + 1) * m * n],
-            );
-        }
+        let (ad_ref, bd_ref) = (a.data(), b.data());
+        let (ad, bd): (&[f32], &[f32]) = (&ad_ref, &bd_ref);
+        par_batch(&mut data, m * n, m * n * k, |i, out| {
+            mm_nn(&ad[i * m * k..(i + 1) * m * k], &bd[i * k * n..(i + 1) * k * n], m, k, n, out);
+        });
     }
     Tensor::from_op(&[bs, m, n], data, vec![a.clone(), b.clone()], Box::new(move |ctx| {
         let g = ctx.out_grad;
         if ctx.parents[0].requires_grad() {
-            let bd = ctx.parents[1].data();
+            let bd_ref = ctx.parents[1].data();
+            let bd: &[f32] = &bd_ref;
             let mut da = vec![0.0f32; bs * m * k];
-            for i in 0..bs {
-                mm_nt(
-                    &g[i * m * n..(i + 1) * m * n],
-                    &bd[i * k * n..(i + 1) * k * n],
-                    m,
-                    n,
-                    k,
-                    &mut da[i * m * k..(i + 1) * m * k],
-                );
-            }
+            par_batch(&mut da, m * k, m * n * k, |i, out| {
+                mm_nt(&g[i * m * n..(i + 1) * m * n], &bd[i * k * n..(i + 1) * k * n], m, n, k, out);
+            });
             ctx.parents[0].accumulate_grad(&da);
         }
         if ctx.parents[1].requires_grad() {
-            let ad = ctx.parents[0].data();
+            let ad_ref = ctx.parents[0].data();
+            let ad: &[f32] = &ad_ref;
             let mut db = vec![0.0f32; bs * k * n];
-            for i in 0..bs {
-                mm_tn(
-                    &ad[i * m * k..(i + 1) * m * k],
-                    &g[i * m * n..(i + 1) * m * n],
-                    m,
-                    k,
-                    n,
-                    &mut db[i * k * n..(i + 1) * k * n],
-                );
-            }
+            par_batch(&mut db, k * n, m * n * k, |i, out| {
+                mm_tn(&ad[i * m * k..(i + 1) * m * k], &g[i * m * n..(i + 1) * m * n], m, k, n, out);
+            });
             ctx.parents[1].accumulate_grad(&db);
         }
     }))
@@ -147,50 +90,32 @@ pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (bs, m, k, n) = (sa[0], sa[1], sa[2], sb[1]);
     let mut data = vec![0.0f32; bs * m * n];
     {
-        let (ad, bd) = (a.data(), b.data());
-        for i in 0..bs {
-            mm_nt(
-                &ad[i * m * k..(i + 1) * m * k],
-                &bd[i * n * k..(i + 1) * n * k],
-                m,
-                k,
-                n,
-                &mut data[i * m * n..(i + 1) * m * n],
-            );
-        }
+        let (ad_ref, bd_ref) = (a.data(), b.data());
+        let (ad, bd): (&[f32], &[f32]) = (&ad_ref, &bd_ref);
+        par_batch(&mut data, m * n, m * n * k, |i, out| {
+            mm_nt(&ad[i * m * k..(i + 1) * m * k], &bd[i * n * k..(i + 1) * n * k], m, k, n, out);
+        });
     }
     Tensor::from_op(&[bs, m, n], data, vec![a.clone(), b.clone()], Box::new(move |ctx| {
         let g = ctx.out_grad;
         if ctx.parents[0].requires_grad() {
             // da = g · b
-            let bd = ctx.parents[1].data();
+            let bd_ref = ctx.parents[1].data();
+            let bd: &[f32] = &bd_ref;
             let mut da = vec![0.0f32; bs * m * k];
-            for i in 0..bs {
-                mm_nn(
-                    &g[i * m * n..(i + 1) * m * n],
-                    &bd[i * n * k..(i + 1) * n * k],
-                    m,
-                    n,
-                    k,
-                    &mut da[i * m * k..(i + 1) * m * k],
-                );
-            }
+            par_batch(&mut da, m * k, m * n * k, |i, out| {
+                mm_nn(&g[i * m * n..(i + 1) * m * n], &bd[i * n * k..(i + 1) * n * k], m, n, k, out);
+            });
             ctx.parents[0].accumulate_grad(&da);
         }
         if ctx.parents[1].requires_grad() {
             // db = gᵀ · a
-            let ad = ctx.parents[0].data();
+            let ad_ref = ctx.parents[0].data();
+            let ad: &[f32] = &ad_ref;
             let mut db = vec![0.0f32; bs * n * k];
-            for i in 0..bs {
-                mm_tn(
-                    &g[i * m * n..(i + 1) * m * n],
-                    &ad[i * m * k..(i + 1) * m * k],
-                    m,
-                    n,
-                    k,
-                    &mut db[i * n * k..(i + 1) * n * k],
-                );
-            }
+            par_batch(&mut db, n * k, m * n * k, |i, out| {
+                mm_tn(&g[i * m * n..(i + 1) * m * n], &ad[i * m * k..(i + 1) * m * k], m, n, k, out);
+            });
             ctx.parents[1].accumulate_grad(&db);
         }
     }))
@@ -267,5 +192,20 @@ mod tests {
         check(&[a.clone(), b], |t| sum_all(&bmm_nn(&t[0], &t[1])), 1e-2);
         let c = Tensor::param((0..12).map(|x| 0.15 * x as f32 - 0.7).collect(), &[2, 2, 3]);
         check(&[a, c], |t| sum_all(&bmm_nt(&t[0], &t[1])), 1e-2);
+    }
+
+    #[test]
+    fn bmm_results_independent_of_intra_op_threads() {
+        // Large enough to clear the parallel-dispatch flop threshold.
+        let (bs, m, k, n) = (8usize, 20, 16, 24);
+        let av: Vec<f32> = (0..bs * m * k).map(|x| ((x * 31 % 97) as f32 - 48.0) / 37.0).collect();
+        let bv: Vec<f32> = (0..bs * k * n).map(|x| ((x * 17 % 89) as f32 - 44.0) / 29.0).collect();
+        let a = Tensor::from_vec(av, &[bs, m, k]);
+        let b = Tensor::from_vec(bv, &[bs, k, n]);
+        let serial = bmm_nn(&a, &b).to_vec();
+        crate::threading::set_intra_op_threads(4);
+        let parallel = bmm_nn(&a, &b).to_vec();
+        crate::threading::set_intra_op_threads(1);
+        assert_eq!(serial, parallel, "intra-op threading changed bmm output bits");
     }
 }

@@ -1,0 +1,109 @@
+//! Intra-op worker threads for batched kernels.
+//!
+//! `Tensor` is deliberately `!Send` (its graph nodes are `Rc`-shared), so
+//! parallelism inside an op never moves tensors across threads: batch items
+//! are raw `f32` slices with disjoint `chunks_mut` outputs, fanned out over
+//! `std::thread::scope` workers. Each batch item is computed by exactly one
+//! worker with the same kernel as the serial path, so results are bitwise
+//! identical at any thread count.
+//!
+//! The knob is thread-local (default 1) so data-parallel *training* workers
+//! — which already saturate the machine one replica per thread — don't
+//! oversubscribe by also fanning out their matmuls.
+
+use std::cell::Cell;
+
+thread_local! {
+    static INTRA_OP_THREADS: Cell<usize> = const { Cell::new(1) };
+}
+
+/// Set how many worker threads batched ops (`bmm_nn`, `bmm_nt`) may use on
+/// the *current* thread. 0 and 1 both mean "run serially".
+pub fn set_intra_op_threads(n: usize) {
+    INTRA_OP_THREADS.with(|c| c.set(n.max(1)));
+}
+
+/// The current thread's intra-op worker budget.
+pub fn intra_op_threads() -> usize {
+    INTRA_OP_THREADS.with(|c| c.get())
+}
+
+/// Minimum total multiply-adds before fanning a batch out to threads; below
+/// this the spawn/join overhead dwarfs the work.
+const MIN_PAR_FLOPS: usize = 256 * 1024;
+
+/// Run `f(i, chunk)` on every `item`-sized chunk of `out` (batch item `i`),
+/// using up to the configured intra-op thread count when `flops_per_item`
+/// times the batch size is worth the spawn cost.
+///
+/// Chunks are assigned round-robin; a given item is always computed whole by
+/// one worker, so output bits do not depend on the thread count.
+pub(crate) fn par_batch<F>(out: &mut [f32], item: usize, flops_per_item: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if item == 0 || out.is_empty() {
+        return;
+    }
+    let batch = out.len() / item;
+    let threads = intra_op_threads().min(batch);
+    if threads <= 1 || flops_per_item * batch < MIN_PAR_FLOPS {
+        for (i, chunk) in out.chunks_mut(item).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut parts: Vec<Vec<(usize, &mut [f32])>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, chunk) in out.chunks_mut(item).enumerate() {
+            parts[i % threads].push((i, chunk));
+        }
+        for part in parts {
+            s.spawn(move || {
+                for (i, chunk) in part {
+                    f(i, chunk);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_roundtrip_and_floor() {
+        set_intra_op_threads(4);
+        assert_eq!(intra_op_threads(), 4);
+        set_intra_op_threads(0);
+        assert_eq!(intra_op_threads(), 1);
+        set_intra_op_threads(1);
+    }
+
+    #[test]
+    fn par_batch_visits_every_item_once() {
+        set_intra_op_threads(3);
+        let mut out = vec![0.0f32; 12 * 5];
+        // Force the parallel path by claiming huge per-item work.
+        par_batch(&mut out, 5, usize::MAX / 64, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v += (i + 1) as f32;
+            }
+        });
+        for (i, chunk) in out.chunks(5).enumerate() {
+            assert!(chunk.iter().all(|&v| v == (i + 1) as f32), "item {i}: {chunk:?}");
+        }
+        set_intra_op_threads(1);
+    }
+
+    #[test]
+    fn small_batches_stay_serial_but_correct() {
+        set_intra_op_threads(8);
+        let mut out = vec![0.0f32; 4];
+        par_batch(&mut out, 2, 1, |i, chunk| chunk.fill(i as f32));
+        assert_eq!(out, vec![0.0, 0.0, 1.0, 1.0]);
+        set_intra_op_threads(1);
+    }
+}

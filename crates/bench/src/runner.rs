@@ -197,7 +197,8 @@ impl Ctx {
             sampler,
             spec.train,
             None,
-        );
+        )
+        .with_replicas(spec.model, ModelConfig { dim: spec.dim, seed: spec.seed });
         let stats = trainer.train();
 
         let nq = spec.queries.min(ds.test.len());

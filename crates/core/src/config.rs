@@ -61,6 +61,12 @@ pub struct TrainConfig {
     pub clip: f32,
     /// Seed for sampling shuffles.
     pub seed: u64,
+    /// Data-parallel training workers. 1 = classic serial loop (the
+    /// default); W > 1 splits each batch over W model replicas whose
+    /// gradients are reduced in fixed worker order before one Adam step.
+    /// Takes effect when the trainer has a replica spec
+    /// (`Trainer::with_replicas`) and the model supports it.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -75,6 +81,7 @@ impl Default for TrainConfig {
             sub_stride: 10,
             clip: 5.0,
             seed: 7,
+            threads: 1,
         }
     }
 }

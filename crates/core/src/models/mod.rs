@@ -54,6 +54,15 @@ pub trait PairModel {
     /// on (NeuTraj updates its spatial memory here). Default: no-op.
     fn post_step(&self, _batch: &PairBatch, _encoded: &EncodedBatch) {}
 
+    /// Whether the trainer may split a batch across fresh model replicas
+    /// (data-parallel training). Requires that a replica built from the same
+    /// config plus a weight snapshot computes the same function — models
+    /// with extra mutable state fed by [`post_step`](Self::post_step) must
+    /// opt out. Default: supported.
+    fn supports_data_parallel(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str;
 }
 

@@ -151,6 +151,13 @@ impl PairModel for NeuTraj {
         });
     }
 
+    /// The spatial attention memory is mutable state outside the `ParamSet`:
+    /// fresh replicas would start with an empty memory and encode different
+    /// representations, so the data-parallel trainer must not split batches.
+    fn supports_data_parallel(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &'static str {
         "NeuTraj"
     }

@@ -2,9 +2,9 @@
 //! pair loss with Adam (Section IV-C/D, parameter settings of Section V-A4).
 
 use crate::batch::PairBatch;
-use crate::config::TrainConfig;
+use crate::config::{ModelConfig, TrainConfig};
 use crate::loss::{pair_loss, PairTargets};
-use crate::models::PairModel;
+use crate::models::{ModelKind, PairModel};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -13,7 +13,12 @@ use std::time::Instant;
 use tmn_data::Sampler;
 use tmn_traj::metrics::{prefix_distances, Metric, MetricParams};
 use tmn_traj::{DistanceMatrix, SimilarityMatrix, Trajectory};
-use tmn_autograd::optim::{train_step, Adam};
+use tmn_autograd::optim::{clip_grad_norm, train_step, Adam};
+
+/// One pair's master-computed targets: (similarity, rank weight, prefix
+/// sub-targets) — everything a data-parallel worker needs besides the
+/// trajectories themselves.
+type TargetRow = (f32, f32, Vec<(usize, f32)>);
 
 /// Per-epoch training statistics.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -64,6 +69,10 @@ pub struct Trainer<'a> {
     rng: StdRng,
     /// Cache of prefix similarities per (anchor, sample) pair.
     sub_cache: HashMap<(usize, usize), Vec<(usize, f32)>>,
+    /// How to rebuild the model on worker threads for data-parallel steps
+    /// (`Tensor` graphs are `!Send`, so replicas are constructed in-thread
+    /// and loaded from a weight snapshot). `None` disables parallelism.
+    replica_spec: Option<(ModelKind, ModelConfig)>,
 }
 
 impl<'a> Trainer<'a> {
@@ -96,7 +105,17 @@ impl<'a> Trainer<'a> {
             optimizer,
             rng,
             sub_cache: HashMap::new(),
+            replica_spec: None,
         }
+    }
+
+    /// Enable data-parallel steps by telling the trainer how to rebuild the
+    /// model on worker threads. `kind`/`mconfig` must describe the same
+    /// architecture as the model passed to [`Trainer::new`]; takes effect
+    /// when `config.threads > 1` and the model supports it.
+    pub fn with_replicas(mut self, kind: ModelKind, mconfig: ModelConfig) -> Trainer<'a> {
+        self.replica_spec = Some((kind, mconfig));
+        self
     }
 
     /// The similarity transform in use (needed to interpret predictions).
@@ -128,7 +147,22 @@ impl<'a> Trainer<'a> {
     }
 
     /// One gradient step over a flat list of `(anchor, sample, weight)`.
+    ///
+    /// Dispatches to the data-parallel path when `config.threads > 1`, a
+    /// replica spec is set, and the model supports batch splitting;
+    /// otherwise (including `threads == 1`) runs the classic serial path
+    /// unchanged, so single-threaded configs stay bit-identical to the
+    /// original trainer.
     fn step(&mut self, pairs: &[(usize, usize, f32)]) -> f32 {
+        let workers = self.config.threads.max(1).min(pairs.len());
+        if workers > 1 && self.replica_spec.is_some() && self.model.supports_data_parallel() {
+            self.step_parallel(pairs, workers)
+        } else {
+            self.step_serial(pairs)
+        }
+    }
+
+    fn step_serial(&mut self, pairs: &[(usize, usize, f32)]) -> f32 {
         let anchors: Vec<&Trajectory> = pairs.iter().map(|&(a, _, _)| &self.train[a]).collect();
         let samples: Vec<&Trajectory> = pairs.iter().map(|&(_, s, _)| &self.train[s]).collect();
         let batch = PairBatch::build(&anchors, &samples);
@@ -143,6 +177,96 @@ impl<'a> Trainer<'a> {
             train_step(self.model.params(), &mut self.optimizer, &loss, self.config.clip);
         self.model.post_step(&batch, &encoded);
         loss_val
+    }
+
+    /// Synchronous data-parallel gradient step.
+    ///
+    /// The batch is split into `workers` contiguous chunks. Each worker
+    /// thread builds a fresh model replica, restores the master weight
+    /// snapshot, and runs forward + backward on its chunk only. Because
+    /// [`pair_loss`] is a *sum* over pairs, the chunk losses and chunk
+    /// gradients add up to exactly the full-batch quantities (up to f32
+    /// reassociation), so the master can reduce worker gradients and take a
+    /// single optimizer step. Reduction happens in spawn order — workers are
+    /// joined sequentially — which makes every run with the same seed and
+    /// thread count deterministic.
+    ///
+    /// Pairs are ordered by trajectory length (longest first, stable) before
+    /// chunking, so each worker pads its chunk batch only to the chunk's own
+    /// longest trajectory rather than the global batch maximum. The loss is
+    /// a sum over pairs, so reordering within the batch changes nothing but
+    /// f32 summation order.
+    ///
+    /// `post_step` is *not* invoked here: models that rely on it report
+    /// `supports_data_parallel() == false` and never reach this path.
+    fn step_parallel(&mut self, pairs: &[(usize, usize, f32)], workers: usize) -> f32 {
+        let (kind, mconfig) = self.replica_spec.expect("step_parallel requires a replica spec");
+        // Group similar-length pairs into the same chunk (longest first,
+        // stable for determinism) so short chunks aren't padded to the
+        // global batch maximum.
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        order.sort_by_key(|&i| {
+            let (a, s, _) = pairs[i];
+            std::cmp::Reverse(self.train[a].len().max(self.train[s].len()))
+        });
+        let pairs: Vec<(usize, usize, f32)> = order.iter().map(|&i| pairs[i]).collect();
+        // Targets come from the master so the sub-trajectory prefix cache
+        // stays a plain single-threaded HashMap.
+        let targets: Vec<TargetRow> = pairs
+            .iter()
+            .map(|&(a, s, w)| (self.smat.get(a, s) as f32, w, self.sub_targets(a, s)))
+            .collect();
+        let pairs: &[(usize, usize, f32)] = &pairs;
+        let snap = self.model.params().snapshot();
+        let chunk_len = pairs.len().div_ceil(workers);
+        let train = self.train;
+        let loss_kind = self.config.loss;
+
+        // The tensor graph is !Send: nothing model-related crosses the
+        // thread boundary except the plain-f32 weight snapshot in and the
+        // plain-f32 gradient snapshots out.
+        let results: Vec<(Vec<Vec<f32>>, f32)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = pairs
+                .chunks(chunk_len)
+                .zip(targets.chunks(chunk_len))
+                .map(|(chunk, tchunk)| {
+                    let snap = &snap;
+                    scope.spawn(move || {
+                        let replica = kind.build(&mconfig);
+                        replica.params().restore(snap);
+                        let anchors: Vec<&Trajectory> =
+                            chunk.iter().map(|&(a, _, _)| &train[a]).collect();
+                        let samples: Vec<&Trajectory> =
+                            chunk.iter().map(|&(_, s, _)| &train[s]).collect();
+                        let batch = PairBatch::build(&anchors, &samples);
+                        let targets = PairTargets {
+                            sim: tchunk.iter().map(|t| t.0).collect(),
+                            weight: tchunk.iter().map(|t| t.1).collect(),
+                            sub: tchunk.iter().map(|t| t.2.clone()).collect(),
+                        };
+                        let encoded = replica.encode_pairs(&batch);
+                        let loss = pair_loss(&encoded, &batch, &targets, loss_kind);
+                        replica.params().zero_grad();
+                        loss.backward();
+                        (replica.params().grad_snapshot(), loss.item())
+                    })
+                })
+                .collect();
+            // Join in spawn order: the gradient reduction order is fixed
+            // regardless of which worker finishes first.
+            handles.into_iter().map(|h| h.join().expect("training worker panicked")).collect()
+        });
+
+        let params = self.model.params();
+        params.zero_grad();
+        let mut total_loss = 0.0f32;
+        for (grads, chunk_loss) in &results {
+            params.accumulate_grads(grads);
+            total_loss += chunk_loss;
+        }
+        clip_grad_norm(params, self.config.clip);
+        self.optimizer.step(params);
+        total_loss
     }
 
     /// Run one epoch: every training trajectory serves as anchor once.
@@ -222,6 +346,7 @@ mod tests {
             sub_stride: 5,
             clip: 5.0,
             seed: 11,
+            threads: 1,
         }
     }
 
@@ -308,6 +433,95 @@ mod tests {
         let stats = trainer.train_with(|e| seen.push(e.epoch));
         assert_eq!(seen, vec![0, 1, 2]);
         assert_eq!(stats.epochs.len(), 3);
+    }
+
+    /// Train one model kind at a given thread count (with the replica spec
+    /// installed) and return the per-epoch losses plus final weights as bits.
+    fn train_run(kind: ModelKind, threads: usize, replicas: bool) -> (Vec<u32>, Vec<Vec<u32>>) {
+        let train = toy_set(12);
+        let dmat = DistanceMatrix::compute(&train, Metric::Dtw, &MetricParams::default(), 1);
+        let mcfg = ModelConfig { dim: 8, seed: 9 };
+        let model = kind.build(&mcfg);
+        let mut trainer = Trainer::new(
+            model.as_ref(),
+            &train,
+            &dmat,
+            Metric::Dtw,
+            MetricParams::default(),
+            Box::new(RankSampler),
+            TrainConfig { epochs: 2, threads, ..quick_config() },
+            None,
+        );
+        if replicas {
+            trainer = trainer.with_replicas(kind, mcfg);
+        }
+        let stats = trainer.train();
+        let losses = stats.epochs.iter().map(|e| e.loss.to_bits()).collect();
+        let weights = model
+            .params()
+            .snapshot()
+            .into_iter()
+            .map(|(_, _, d)| d.into_iter().map(f32::to_bits).collect())
+            .collect();
+        (losses, weights)
+    }
+
+    #[test]
+    fn threads_one_bit_identical_to_serial_trainer() {
+        // threads=1 must dispatch to the untouched serial path even when a
+        // replica spec is present: same losses, same weights, bit for bit.
+        let (serial_losses, serial_weights) = train_run(ModelKind::Tmn, 1, false);
+        let (dp_losses, dp_weights) = train_run(ModelKind::Tmn, 1, true);
+        assert_eq!(serial_losses, dp_losses, "threads=1 changed the loss curve");
+        assert_eq!(serial_weights, dp_weights, "threads=1 changed the trained weights");
+    }
+
+    #[test]
+    fn parallel_training_is_deterministic() {
+        // Fixed chunking + fixed-order gradient reduction: two identical
+        // 4-worker runs must agree exactly.
+        let (l1, w1) = train_run(ModelKind::Tmn, 4, true);
+        let (l2, w2) = train_run(ModelKind::Tmn, 4, true);
+        assert_eq!(l1, l2, "4-worker loss curve not reproducible");
+        assert_eq!(w1, w2, "4-worker weights not reproducible");
+    }
+
+    #[test]
+    fn parallel_training_matches_serial_closely() {
+        // Chunked gradients equal the full-batch gradient up to f32
+        // reassociation (the loss is a sum over pairs), so the 4-worker loss
+        // curve should track the serial one tightly.
+        let (serial_losses, _) = train_run(ModelKind::Tmn, 1, false);
+        let (dp_losses, _) = train_run(ModelKind::Tmn, 4, true);
+        for (s_bits, p_bits) in serial_losses.iter().zip(&dp_losses) {
+            let (s, p) = (f32::from_bits(*s_bits), f32::from_bits(*p_bits));
+            assert!(p.is_finite());
+            assert!(
+                (s - p).abs() / s.abs().max(1e-6) < 1e-2,
+                "parallel loss drifted: serial {s} vs parallel {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_model_kinds_train_data_parallel() {
+        // Every kind must at least train under threads=4 with replicas —
+        // NeuTraj via its serial fallback (supports_data_parallel = false),
+        // the rest via the data-parallel path.
+        for kind in ModelKind::ALL {
+            let (losses, _) = train_run(kind, 4, true);
+            assert!(
+                losses.iter().all(|b| f32::from_bits(*b).is_finite()),
+                "{kind}: non-finite loss under data-parallel training"
+            );
+        }
+    }
+
+    #[test]
+    fn neutraj_opts_out_of_data_parallel() {
+        let model = ModelKind::NeuTraj.build(&ModelConfig { dim: 8, seed: 1 });
+        assert!(!model.supports_data_parallel());
+        assert!(ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 1 }).supports_data_parallel());
     }
 
     #[test]

@@ -101,7 +101,7 @@ pub fn geolife_like(config: &GenConfig, rng: &mut impl Rng) -> Vec<Trajectory> {
                 centre.lon + gaussian(rng) * spread.0 * 2.0,
                 centre.lat + gaussian(rng) * spread.1 * 2.0,
             );
-            let speed = mode.speed() * rng.gen_range(0.7..1.3);
+            let speed = mode.speed() * rng.gen_range(0.7f64..1.3);
             let mut points = Vec::with_capacity(len);
             for _ in 0..len {
                 points.push(add_noise(pos, config.noise_std, config.outlier_prob, rng));

@@ -3,7 +3,7 @@
 //! The training objective compares predicted similarities against
 //! `S = exp(−α·D)` where `D` is the pre-computed pairwise distance matrix
 //! (Section IV-D). Full pairwise computation is O(N²·n²); it is parallelized
-//! across rows with crossbeam scoped threads.
+//! across rows with `std::thread::scope` workers.
 
 use crate::metrics::{Metric, MetricParams};
 use crate::Trajectory;
@@ -26,24 +26,25 @@ impl DistanceMatrix {
         let n = trajectories.len();
         let mut data = vec![0.0f64; n * n];
         let threads = threads.max(1);
-        // Partition rows round-robin so long-trajectory rows spread evenly.
+        // Row i contributes n-1-i upper-triangle cells, so a plain round-robin
+        // assignment front-loads the low-index workers. Pairing row k with row
+        // n-1-k gives every pair the same n-1 cells; sending the pair to
+        // worker min(k, n-1-k) % threads balances the triangle.
         let chunks: Vec<(usize, &mut [f64])> = data.chunks_mut(n).enumerate().collect();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let mut handles = Vec::new();
             let mut partitions: Vec<Vec<(usize, &mut [f64])>> =
                 (0..threads).map(|_| Vec::new()).collect();
             for (k, row) in chunks {
-                partitions[k % threads].push((k, row));
+                partitions[k.min(n - 1 - k) % threads].push((k, row));
             }
             for part in partitions {
-                handles.push(s.spawn(move |_| {
+                handles.push(s.spawn(move || {
                     for (i, row) in part {
-                        for (j, other) in trajectories.iter().enumerate() {
-                            // Symmetric: compute the upper triangle only; the
-                            // lower triangle is filled by the mirror pass.
-                            if j > i {
-                                row[j] = metric.distance(&trajectories[i], other, params);
-                            }
+                        // Symmetric: compute the upper triangle only; the
+                        // lower triangle is filled by the mirror pass.
+                        for j in i + 1..n {
+                            row[j] = metric.distance(&trajectories[i], &trajectories[j], params);
                         }
                     }
                 }));
@@ -51,8 +52,7 @@ impl DistanceMatrix {
             for h in handles {
                 h.join().expect("distance worker panicked");
             }
-        })
-        .expect("crossbeam scope failed");
+        });
         // Mirror the upper triangle.
         for i in 0..n {
             for j in 0..i {

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI gate: release build, full test suite, zero-warning clippy.
+# Run from the repository root: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== test =="
+cargo test -q --workspace
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -1,0 +1,254 @@
+//! Vendored minimal `Serialize`/`Deserialize` derive macros for the serde
+//! stub. Implemented directly on `proc_macro` token streams (no syn/quote —
+//! the build container has no crates.io access).
+//!
+//! Supported item shapes — exactly what this workspace derives on:
+//! - structs with named fields (no generics)
+//! - enums whose variants are all unit variants (no generics)
+//!
+//! Anything else produces a `compile_error!` pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match (item, mode) {
+        (Item::Struct { name, fields }, Mode::Serialize) => struct_serialize(&name, &fields),
+        (Item::Struct { name, fields }, Mode::Deserialize) => struct_deserialize(&name, &fields),
+        (Item::Enum { name, variants }, Mode::Serialize) => enum_serialize(&name, &variants),
+        (Item::Enum { name, variants }, Mode::Deserialize) => enum_deserialize(&name, &variants),
+    };
+    code.parse().expect("serde_derive stub generated invalid Rust")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", format!("serde stub derive: {msg}"))
+        .parse()
+        .expect("compile_error tokens")
+}
+
+/// Parse the derive input into a struct/enum skeleton (names only — the
+/// generated impls never need field types).
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("`{name}`: generic items are not supported"));
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => return Err(format!("`{name}`: only brace-bodied items are supported (no tuple/unit structs)")),
+    };
+
+    if kind == "struct" {
+        Ok(Item::Struct { name, fields: parse_named_fields(body)? })
+    } else {
+        Ok(Item::Enum { name, variants: parse_unit_variants(body)? })
+    }
+}
+
+/// Advance past `#[...]` attributes (incl. doc comments) and `pub`/`pub(..)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!("variant `{name}` has fields; only unit variants are supported"))
+            }
+            other => return Err(format!("unexpected token after variant `{name}`: {other:?}")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn struct_serialize(name: &str, fields: &[String]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(vec![{entries}])\n\
+             }}\n\
+         }}",
+        entries = entries.join(", ")
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match __v.get_field({f:?}) {{\n\
+                     Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                     None => return Err(::serde::Error::missing_field({f:?})),\n\
+                 }}"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match __v {{\n\
+                     ::serde::Value::Map(_) => Ok({name} {{ {inits} }}),\n\
+                     other => Err(::serde::Error::expected(\"map\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        inits = inits.join(", ")
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[String]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string())"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}",
+        arms = arms.join(", ")
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[String]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| format!("{v:?} => Ok({name}::{v})"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match __v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {arms},\n\
+                         other => Err(::serde::Error::custom(\n\
+                             format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     other => Err(::serde::Error::expected(\"string (variant name)\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        arms = arms.join(",\n")
+    )
+}
