@@ -36,6 +36,7 @@ pub mod kernels;
 pub mod nn;
 pub mod ops;
 pub mod optim;
+mod profile;
 mod tensor;
 pub mod threading;
 

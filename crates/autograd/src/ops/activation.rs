@@ -1,9 +1,11 @@
 //! Pointwise nonlinearities.
 
+use crate::profile::op_scope;
 use crate::Tensor;
 
 /// Logistic sigmoid `1 / (1 + e^{-x})`.
 pub fn sigmoid(a: &Tensor) -> Tensor {
+    let _prof = op_scope("sigmoid", 4 * a.numel() as u64);
     let data: Vec<f32> = a.data().iter().map(|&x| 1.0 / (1.0 + (-x).exp())).collect();
     Tensor::from_op(a.shape(), data, vec![a.clone()], Box::new(|ctx| {
         if ctx.parents[0].requires_grad() {
@@ -20,6 +22,7 @@ pub fn sigmoid(a: &Tensor) -> Tensor {
 
 /// Hyperbolic tangent.
 pub fn tanh(a: &Tensor) -> Tensor {
+    let _prof = op_scope("tanh", 4 * a.numel() as u64);
     let data: Vec<f32> = a.data().iter().map(|&x| x.tanh()).collect();
     Tensor::from_op(a.shape(), data, vec![a.clone()], Box::new(|ctx| {
         if ctx.parents[0].requires_grad() {
@@ -36,6 +39,7 @@ pub fn tanh(a: &Tensor) -> Tensor {
 
 /// LeakyReLU with the paper's slope of 0.1 (Eq. 5).
 pub fn leaky_relu(a: &Tensor) -> Tensor {
+    let _prof = op_scope("leaky_relu", a.numel() as u64);
     const SLOPE: f32 = 0.1;
     let data: Vec<f32> = a.data().iter().map(|&x| if x >= 0.0 { x } else { SLOPE * x }).collect();
     Tensor::from_op(a.shape(), data, vec![a.clone()], Box::new(|ctx| {
@@ -54,6 +58,7 @@ pub fn leaky_relu(a: &Tensor) -> Tensor {
 
 /// Elementwise `e^x`.
 pub fn exp(a: &Tensor) -> Tensor {
+    let _prof = op_scope("exp", 2 * a.numel() as u64);
     let data: Vec<f32> = a.data().iter().map(|&x| x.exp()).collect();
     Tensor::from_op(a.shape(), data, vec![a.clone()], Box::new(|ctx| {
         if ctx.parents[0].requires_grad() {
@@ -66,6 +71,7 @@ pub fn exp(a: &Tensor) -> Tensor {
 /// Elementwise `sqrt(x + eps)`; `eps` keeps the gradient finite at zero
 /// (used for Euclidean distances between nearly identical embeddings).
 pub fn sqrt_eps(a: &Tensor, eps: f32) -> Tensor {
+    let _prof = op_scope("sqrt_eps", 2 * a.numel() as u64);
     let data: Vec<f32> = a.data().iter().map(|&x| (x + eps).sqrt()).collect();
     Tensor::from_op(a.shape(), data, vec![a.clone()], Box::new(move |ctx| {
         if ctx.parents[0].requires_grad() {

@@ -1,6 +1,7 @@
 //! Elementwise and broadcasting arithmetic.
 
 use super::rows_of;
+use crate::profile::op_scope;
 use crate::Tensor;
 
 fn assert_same_shape(a: &Tensor, b: &Tensor, op: &str) {
@@ -16,6 +17,7 @@ fn assert_same_shape(a: &Tensor, b: &Tensor, op: &str) {
 /// Elementwise `a + b` (shapes must match).
 pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
     assert_same_shape(a, b, "add");
+    let _prof = op_scope("add", a.numel() as u64);
     let data: Vec<f32> = a.data().iter().zip(b.data().iter()).map(|(x, y)| x + y).collect();
     Tensor::from_op(a.shape(), data, vec![a.clone(), b.clone()], Box::new(|ctx| {
         if ctx.parents[0].requires_grad() {
@@ -30,6 +32,7 @@ pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
 /// Elementwise `a - b` (shapes must match).
 pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
     assert_same_shape(a, b, "sub");
+    let _prof = op_scope("sub", a.numel() as u64);
     let data: Vec<f32> = a.data().iter().zip(b.data().iter()).map(|(x, y)| x - y).collect();
     Tensor::from_op(a.shape(), data, vec![a.clone(), b.clone()], Box::new(|ctx| {
         if ctx.parents[0].requires_grad() {
@@ -45,6 +48,7 @@ pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
 /// Elementwise `a * b` (shapes must match).
 pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_same_shape(a, b, "mul");
+    let _prof = op_scope("mul", a.numel() as u64);
     let data: Vec<f32> = a.data().iter().zip(b.data().iter()).map(|(x, y)| x * y).collect();
     Tensor::from_op(a.shape(), data, vec![a.clone(), b.clone()], Box::new(|ctx| {
         if ctx.parents[0].requires_grad() {
@@ -70,6 +74,7 @@ pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// Broadcast add of a `[n]` bias over the last dimension of `a` (`[.., n]`).
 pub fn add_bias(a: &Tensor, bias: &Tensor) -> Tensor {
+    let _prof = op_scope("add_bias", a.numel() as u64);
     let n = *a.shape().last().expect("add_bias: rank >= 1");
     assert_eq!(bias.shape(), &[n], "add_bias: bias must be [last_dim]");
     let rows = rows_of(a.shape());
@@ -100,6 +105,7 @@ pub fn add_bias(a: &Tensor, bias: &Tensor) -> Tensor {
 
 /// `a * c` for a scalar constant `c`.
 pub fn scale(a: &Tensor, c: f32) -> Tensor {
+    let _prof = op_scope("scale", a.numel() as u64);
     let data: Vec<f32> = a.data().iter().map(|x| x * c).collect();
     Tensor::from_op(a.shape(), data, vec![a.clone()], Box::new(move |ctx| {
         if ctx.parents[0].requires_grad() {
@@ -111,6 +117,7 @@ pub fn scale(a: &Tensor, c: f32) -> Tensor {
 
 /// `a + c` for a scalar constant `c`.
 pub fn add_scalar(a: &Tensor, c: f32) -> Tensor {
+    let _prof = op_scope("add_scalar", a.numel() as u64);
     let data: Vec<f32> = a.data().iter().map(|x| x + c).collect();
     Tensor::from_op(a.shape(), data, vec![a.clone()], Box::new(|ctx| {
         if ctx.parents[0].requires_grad() {
@@ -130,6 +137,7 @@ pub fn neg(a: &Tensor) -> Tensor {
 /// This mirrors the paper's masking of padded points after the softmax and
 /// before the discrepancy subtraction (Section IV-B).
 pub fn mul_mask_rows(a: &Tensor, mask: &Tensor) -> Tensor {
+    let _prof = op_scope("mul_mask_rows", a.numel() as u64);
     let (b, m) = (mask.shape()[0], mask.shape()[1]);
     assert!(mask.shape().len() == 2, "mul_mask_rows: mask must be [B, m]");
     assert!(

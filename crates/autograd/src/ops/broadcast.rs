@@ -1,10 +1,12 @@
 //! Row slicing/tiling and scalar-tensor gating (used by T3S's positional
 //! embedding and learned branch combination).
 
+use crate::profile::op_scope;
 use crate::Tensor;
 
 /// First `len` rows of a rank-2 tensor: `[n, d] -> [len, d]`.
 pub fn slice_rows(a: &Tensor, len: usize) -> Tensor {
+    let _prof = op_scope("slice_rows", 0);
     let s = a.shape();
     assert_eq!(s.len(), 2, "slice_rows: need rank 2, got {s:?}");
     let (n, d) = (s[0], s[1]);
@@ -22,6 +24,7 @@ pub fn slice_rows(a: &Tensor, len: usize) -> Tensor {
 /// Tile a `[m, d]` tensor across a new leading batch axis: `-> [b, m, d]`.
 /// Backward sums gradients over the batch copies.
 pub fn tile_rows(a: &Tensor, b: usize) -> Tensor {
+    let _prof = op_scope("tile_rows", 0);
     let s = a.shape();
     assert_eq!(s.len(), 2, "tile_rows: need rank 2, got {s:?}");
     let (m, d) = (s[0], s[1]);
@@ -45,6 +48,7 @@ pub fn tile_rows(a: &Tensor, b: usize) -> Tensor {
 
 /// Multiply a tensor by a learnable `[1]` scalar: `out = a * s`.
 pub fn mul_scalar_tensor(a: &Tensor, s: &Tensor) -> Tensor {
+    let _prof = op_scope("mul_scalar_tensor", a.numel() as u64);
     assert_eq!(s.shape(), &[1], "mul_scalar_tensor: scalar must be [1]");
     let sv = s.item();
     let data: Vec<f32> = a.data().iter().map(|x| x * sv).collect();

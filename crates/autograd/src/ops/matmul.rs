@@ -10,6 +10,7 @@
 //! slices, so no tensor ever crosses a thread boundary.
 
 use crate::kernels::{mm_nn, mm_nt, mm_tn};
+use crate::profile::op_scope;
 use crate::threading::par_batch;
 use crate::Tensor;
 
@@ -20,6 +21,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(sb.len(), 2, "matmul: rhs must be rank 2, got {sb:?}");
     assert_eq!(sa[1], sb[0], "matmul: inner dims {sa:?} x {sb:?}");
     let (m, k, n) = (sa[0], sa[1], sb[1]);
+    let _prof = op_scope("matmul", 2 * (m * k * n) as u64);
     let mut data = vec![0.0f32; m * n];
     mm_nn(&a.data(), &b.data(), m, k, n, &mut data);
     Tensor::from_op(&[m, n], data, vec![a.clone(), b.clone()], Box::new(move |ctx| {
@@ -47,6 +49,7 @@ pub fn bmm_nn(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(sa[0], sb[0], "bmm_nn: batch dims differ");
     assert_eq!(sa[2], sb[1], "bmm_nn: inner dims {sa:?} x {sb:?}");
     let (bs, m, k, n) = (sa[0], sa[1], sa[2], sb[2]);
+    let _prof = op_scope("bmm_nn", 2 * (bs * m * k * n) as u64);
     let mut data = vec![0.0f32; bs * m * n];
     {
         let (ad_ref, bd_ref) = (a.data(), b.data());
@@ -88,6 +91,7 @@ pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(sa[0], sb[0], "bmm_nt: batch dims differ");
     assert_eq!(sa[2], sb[2], "bmm_nt: feature dims {sa:?} x {sb:?}");
     let (bs, m, k, n) = (sa[0], sa[1], sa[2], sb[1]);
+    let _prof = op_scope("bmm_nt", 2 * (bs * m * k * n) as u64);
     let mut data = vec![0.0f32; bs * m * n];
     {
         let (ad_ref, bd_ref) = (a.data(), b.data());

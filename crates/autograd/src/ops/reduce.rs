@@ -1,10 +1,12 @@
 //! Reductions and regression-loss primitives.
 
 use super::rows_of;
+use crate::profile::op_scope;
 use crate::Tensor;
 
 /// Sum of all elements, producing a `[1]` scalar.
 pub fn sum_all(a: &Tensor) -> Tensor {
+    let _prof = op_scope("sum_all", a.numel() as u64);
     let s: f32 = a.data().iter().sum();
     let numel = a.numel();
     Tensor::from_op(&[1], vec![s], vec![a.clone()], Box::new(move |ctx| {
@@ -22,6 +24,7 @@ pub fn mean_all(a: &Tensor) -> Tensor {
 
 /// Sum over the last dimension: `[.., n] -> [..]` (rank-1 input yields `[1]`).
 pub fn sum_last(a: &Tensor) -> Tensor {
+    let _prof = op_scope("sum_last", a.numel() as u64);
     let n = *a.shape().last().expect("sum_last: rank >= 1");
     let rows = rows_of(a.shape());
     let data: Vec<f32> = a.data().chunks_exact(n).map(|c| c.iter().sum()).collect();
@@ -50,6 +53,7 @@ pub fn sum_last(a: &Tensor) -> Tensor {
 ///
 /// The gradient flows to `pred` only; `target` is treated as a constant.
 pub fn qerror(pred: &Tensor, target: &Tensor, eps: f32) -> Tensor {
+    let _prof = op_scope("qerror", 4 * pred.numel() as u64);
     assert_eq!(pred.shape(), target.shape(), "qerror: shape mismatch");
     let t: Vec<f32> = target.data().iter().map(|&x| x.max(eps)).collect();
     let data: Vec<f32> = pred

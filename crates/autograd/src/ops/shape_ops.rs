@@ -2,10 +2,12 @@
 //! gather/scatter ops the LSTM and the final-representation selection need.
 
 use super::rows_of;
+use crate::profile::op_scope;
 use crate::Tensor;
 
 /// Reinterpret `a` with a new shape (same number of elements).
 pub fn reshape(a: &Tensor, shape: &[usize]) -> Tensor {
+    let _prof = op_scope("reshape", 0);
     let numel: usize = shape.iter().product();
     assert_eq!(a.numel(), numel, "reshape: {:?} -> {:?} changes numel", a.shape(), shape);
     Tensor::from_op(shape, a.to_vec(), vec![a.clone()], Box::new(|ctx| {
@@ -19,6 +21,7 @@ pub fn reshape(a: &Tensor, shape: &[usize]) -> Tensor {
 ///
 /// Used for `X_a ⊕ M_{a←b}` before the LSTM (Eq. 12).
 pub fn concat_last(a: &Tensor, b: &Tensor) -> Tensor {
+    let _prof = op_scope("concat_last", 0);
     let (sa, sb) = (a.shape(), b.shape());
     assert_eq!(sa.len(), sb.len(), "concat_last: rank mismatch");
     assert_eq!(
@@ -59,6 +62,7 @@ pub fn concat_last(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// Slice `[start, start+len)` of the last dimension (e.g. LSTM gate split).
 pub fn slice_last(a: &Tensor, start: usize, len: usize) -> Tensor {
+    let _prof = op_scope("slice_last", 0);
     let n = *a.shape().last().expect("slice_last: rank >= 1");
     assert!(start + len <= n, "slice_last: [{start}, {}) out of last dim {n}", start + len);
     let rows = rows_of(a.shape());
@@ -85,6 +89,7 @@ pub fn slice_last(a: &Tensor, start: usize, len: usize) -> Tensor {
 
 /// Select time step `t` from `[B, m, d]`, yielding `[B, d]`.
 pub fn select_time(a: &Tensor, t: usize) -> Tensor {
+    let _prof = op_scope("select_time", 0);
     let s = a.shape();
     assert_eq!(s.len(), 3, "select_time: need [B, m, d], got {s:?}");
     let (bs, m, d) = (s[0], s[1], s[2]);
@@ -111,6 +116,7 @@ pub fn select_time(a: &Tensor, t: usize) -> Tensor {
 
 /// Stack `m` tensors of shape `[B, d]` into `[B, m, d]` (LSTM outputs → `Z`).
 pub fn stack_time(steps: &[Tensor]) -> Tensor {
+    let _prof = op_scope("stack_time", 0);
     assert!(!steps.is_empty(), "stack_time: empty input");
     let s0 = steps[0].shape().to_vec();
     assert_eq!(s0.len(), 2, "stack_time: steps must be [B, d], got {s0:?}");
@@ -147,6 +153,7 @@ pub fn stack_time(steps: &[Tensor]) -> Tensor {
 /// Selects the representation of the final *unpadded* point of each
 /// trajectory (`O_a^{(m)}` in the paper) and the sub-trajectory prefixes.
 pub fn gather_time(a: &Tensor, idx: &[usize]) -> Tensor {
+    let _prof = op_scope("gather_time", 0);
     let s = a.shape();
     assert_eq!(s.len(), 3, "gather_time: need [B, m, d], got {s:?}");
     let (bs, m, d) = (s[0], s[1], s[2]);
@@ -180,6 +187,7 @@ pub fn gather_time(a: &Tensor, idx: &[usize]) -> Tensor {
 /// Reverse the time axis of `[B, m, d]`: `out[b, t, :] = a[b, m-1-t, :]`.
 /// Used by the bidirectional LSTM's backward pass.
 pub fn reverse_time(a: &Tensor) -> Tensor {
+    let _prof = op_scope("reverse_time", 0);
     let s = a.shape();
     assert_eq!(s.len(), 3, "reverse_time: need [B, m, d], got {s:?}");
     let (bs, m, d) = (s[0], s[1], s[2]);

@@ -1,6 +1,7 @@
 //! Row-wise softmax, with and without a key-padding mask.
 
 use super::rows_of;
+use crate::profile::op_scope;
 use crate::Tensor;
 
 fn softmax_row(row: &mut [f32], valid: impl Fn(usize) -> bool) {
@@ -39,6 +40,7 @@ fn softmax_backward_row(y: &[f32], g: &[f32], out: &mut [f32]) {
 
 /// Softmax over the last dimension of `a` (`[.., n]`).
 pub fn softmax(a: &Tensor) -> Tensor {
+    let _prof = op_scope("softmax", 5 * a.numel() as u64);
     let n = *a.shape().last().expect("softmax: rank >= 1");
     let rows = rows_of(a.shape());
     let mut data = a.to_vec();
@@ -66,6 +68,7 @@ pub fn softmax(a: &Tensor) -> Tensor {
 /// on valid key positions and 0.0 on padding. Masked positions get
 /// probability exactly 0; fully masked rows become all-zero.
 pub fn masked_softmax(scores: &Tensor, key_mask: &Tensor) -> Tensor {
+    let _prof = op_scope("masked_softmax", 5 * scores.numel() as u64);
     let s = scores.shape();
     assert_eq!(s.len(), 3, "masked_softmax: scores must be [B, q, k], got {s:?}");
     let (bs, q, k) = (s[0], s[1], s[2]);

@@ -64,6 +64,11 @@ struct Inner {
     requires_grad: bool,
     parents: Vec<Tensor>,
     backward: Option<BackFn>,
+    /// `(op name, forward FLOP estimate)` captured from the profiler's
+    /// thread-local when this node was built inside an instrumented op.
+    /// Used only to attribute backward time; `None` whenever profiling is
+    /// off, so the hot path is untouched.
+    op: Option<(&'static str, u64)>,
 }
 
 /// A reference-counted dense `f32` tensor participating in autograd.
@@ -92,6 +97,7 @@ impl Tensor {
         requires_grad: bool,
         parents: Vec<Tensor>,
         backward: Option<BackFn>,
+        op: Option<(&'static str, u64)>,
     ) -> Tensor {
         let numel: usize = shape.iter().product();
         assert_eq!(
@@ -110,13 +116,14 @@ impl Tensor {
                 requires_grad,
                 parents,
                 backward,
+                op,
             }),
         }
     }
 
     /// A constant (non-trainable) tensor.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Tensor {
-        Tensor::new_inner(shape.to_vec(), data, false, Vec::new(), None)
+        Tensor::new_inner(shape.to_vec(), data, false, Vec::new(), None, None)
     }
 
     /// A scalar constant of shape `[1]`.
@@ -132,7 +139,7 @@ impl Tensor {
     /// A trainable leaf parameter. Gradients accumulate into it on
     /// [`Tensor::backward`].
     pub fn param(data: Vec<f32>, shape: &[usize]) -> Tensor {
-        Tensor::new_inner(shape.to_vec(), data, true, Vec::new(), None)
+        Tensor::new_inner(shape.to_vec(), data, true, Vec::new(), None, None)
     }
 
     /// Construct an op output node.
@@ -148,9 +155,10 @@ impl Tensor {
     ) -> Tensor {
         let track = grad_enabled() && parents.iter().any(|p| p.inner.requires_grad);
         if track {
-            Tensor::new_inner(shape.to_vec(), data, true, parents, Some(backward))
+            let op = crate::profile::current_op();
+            Tensor::new_inner(shape.to_vec(), data, true, parents, Some(backward), op)
         } else {
-            Tensor::new_inner(shape.to_vec(), data, false, Vec::new(), None)
+            Tensor::new_inner(shape.to_vec(), data, false, Vec::new(), None, None)
         }
     }
 
@@ -243,21 +251,44 @@ impl Tensor {
             self.shape()
         );
         // Topological order over the recorded graph.
-        let order = self.topo_order();
+        let order = {
+            let _prof = tmn_obs::profiler::phase("autograd.topo_sort");
+            self.topo_order()
+        };
         self.accumulate_grad(&[1.0]);
+        let profiling = tmn_obs::profiler::is_enabled();
         for node in order.iter().rev() {
             let Some(back) = node.inner.backward.as_ref() else {
                 continue;
             };
-            let grad = node.inner.grad.borrow().clone();
-            let Some(grad) = grad else { continue };
-            let data = node.inner.data.borrow();
-            let ctx = BackCtx {
-                out_grad: &grad,
-                out_data: &data,
-                parents: &node.inner.parents,
+            // Attribute this node's backward pass to the op that built it.
+            // A backward step reads and writes roughly twice the data of its
+            // forward (out_grad in, parent grads out), hence the 2x estimate.
+            let prof = match node.inner.op {
+                Some((name, flops)) if profiling => {
+                    Some((name, flops, std::time::Instant::now()))
+                }
+                _ => None,
             };
-            back(&ctx);
+            {
+                let grad = node.inner.grad.borrow().clone();
+                let Some(grad) = grad else { continue };
+                let data = node.inner.data.borrow();
+                let ctx = BackCtx {
+                    out_grad: &grad,
+                    out_data: &data,
+                    parents: &node.inner.parents,
+                };
+                back(&ctx);
+            }
+            if let Some((name, flops, start)) = prof {
+                tmn_obs::profiler::record(
+                    name,
+                    tmn_obs::profiler::ScopeKind::Backward,
+                    start.elapsed().as_nanos() as u64,
+                    flops.saturating_mul(2),
+                );
+            }
         }
     }
 

@@ -1,0 +1,99 @@
+//! The op-level profiler must attribute both forward and backward time to
+//! the op that created each graph node, and must record nothing (and change
+//! nothing) when disabled.
+//!
+//! These tests share the process-global profiler registry, so they serialize
+//! on a local mutex instead of relying on `--test-threads`.
+
+use std::sync::Mutex;
+use tmn_autograd::{ops, Tensor};
+use tmn_obs::profiler;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn small_loss() -> (Tensor, Tensor) {
+    let w = Tensor::param((0..12).map(|i| 0.1 * i as f32 - 0.5).collect(), &[3, 4]);
+    let x = Tensor::from_vec((0..6).map(|i| 0.2 * i as f32).collect(), &[2, 3]);
+    let y = ops::matmul(&x, &w);
+    let s = ops::sigmoid(&y);
+    let loss = ops::sum_all(&ops::mul(&s, &s));
+    (loss, w)
+}
+
+fn record(name: &str, kind: &str) -> Option<profiler::OpRecord> {
+    profiler::snapshot().into_iter().find(|r| r.name == name && r.kind == kind)
+}
+
+#[test]
+fn forward_and_backward_records_share_op_names() {
+    let _g = lock();
+    profiler::set_enabled(true);
+    profiler::reset();
+    let (loss, _w) = small_loss();
+    loss.backward();
+    profiler::set_enabled(false);
+
+    for op in ["matmul", "sigmoid", "mul", "sum_all"] {
+        let fwd = record(op, "forward").unwrap_or_else(|| panic!("no forward record for {op}"));
+        assert!(fwd.calls >= 1);
+        let bwd = record(op, "backward").unwrap_or_else(|| panic!("no backward record for {op}"));
+        assert!(bwd.calls >= 1);
+        // Backward FLOPs are estimated at twice the forward cost per call.
+        assert_eq!(bwd.flops * fwd.calls, 2 * fwd.flops * bwd.calls);
+    }
+}
+
+#[test]
+fn flop_estimate_matches_matmul_dims() {
+    let _g = lock();
+    profiler::set_enabled(true);
+    profiler::reset();
+    let a = Tensor::param(vec![0.0; 6], &[2, 3]);
+    let b = Tensor::param(vec![0.0; 12], &[3, 4]);
+    let _ = ops::matmul(&a, &b);
+    profiler::set_enabled(false);
+    let fwd = record("matmul", "forward").expect("matmul recorded");
+    assert_eq!(fwd.calls, 1);
+    assert_eq!(fwd.flops, 2 * 2 * 3 * 4);
+}
+
+#[test]
+fn disabled_profiler_records_nothing_and_preserves_numerics() {
+    let _g = lock();
+    // Reference values with the profiler off.
+    profiler::set_enabled(false);
+    profiler::reset();
+    let (loss_off, w_off) = small_loss();
+    loss_off.backward();
+    assert!(profiler::snapshot().is_empty(), "disabled run must record nothing");
+
+    // Same computation with the profiler on: identical bits out.
+    profiler::set_enabled(true);
+    let (loss_on, w_on) = small_loss();
+    loss_on.backward();
+    profiler::set_enabled(false);
+    assert!(!profiler::snapshot().is_empty());
+    assert_eq!(loss_off.item().to_bits(), loss_on.item().to_bits());
+    let (g_off, g_on) = (w_off.grad().unwrap(), w_on.grad().unwrap());
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&g_off), bits(&g_on), "profiling changed gradient bits");
+}
+
+#[test]
+fn no_grad_forward_still_profiles_forward_only() {
+    let _g = lock();
+    profiler::set_enabled(true);
+    profiler::reset();
+    tmn_autograd::no_grad(|| {
+        let (loss, _) = small_loss();
+        let _ = loss.item();
+    });
+    profiler::set_enabled(false);
+    let fwd = record("matmul", "forward").expect("forward recorded under no_grad");
+    assert_eq!(fwd.calls, 1);
+    assert!(record("matmul", "backward").is_none(), "no backward without a graph");
+}

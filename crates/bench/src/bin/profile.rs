@@ -1,0 +1,221 @@
+//! Op-level profiling run: a short TMN train + eval cycle with the
+//! `tmn-obs` profiler enabled, reporting where the wall-clock time goes.
+//!
+//! Usage:
+//!   `cargo run -p tmn-bench --release --bin profile [--quick|--full]`
+//!   `cargo run -p tmn-bench --release --bin profile -- --check`
+//!
+//! The default mode trains for a few epochs (threads=1 so op time and wall
+//! time are directly comparable), runs a top-k search, and emits:
+//!
+//! - `results/PROFILE_ops.json` — per-op `{name, kind, calls, total_ns,
+//!   flops}` records for the training and eval sections, the training
+//!   coverage fraction (instrumented ns / wall ns), and the eval
+//!   embed/index/rank phase breakdown;
+//! - `results/PROFILE_telemetry.jsonl` — the training run's per-batch and
+//!   per-epoch telemetry stream;
+//! - a human-readable top-K table on stdout.
+//!
+//! `--check` re-reads both files and validates their schema (CI smoke).
+
+use std::time::Instant;
+use tmn::prelude::*;
+use tmn_bench::{write_json, Scale, Table};
+use tmn_eval::{time_search_phases, SearchPhases};
+use tmn_obs::{profiler, BatchTelemetry, EpochTelemetry, OpRecord, TelemetrySink};
+
+const OPS_PATH: &str = "results/PROFILE_ops.json";
+const TELEMETRY_PATH: &str = "results/PROFILE_telemetry.jsonl";
+const TOP_K: usize = 12;
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct TrainSection {
+    wall_s: f64,
+    epochs: usize,
+    pairs: usize,
+    /// Nanoseconds attributed to instrumented ops/phases (disjoint scopes).
+    instrumented_ns: u64,
+    /// `instrumented_ns` over training wall time.
+    coverage: f64,
+    ops: Vec<OpRecord>,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct EvalSection {
+    phases: SearchPhases,
+    ops: Vec<OpRecord>,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Report {
+    scale: String,
+    dim: usize,
+    train_trajectories: usize,
+    queries: usize,
+    telemetry_path: String,
+    train: TrainSection,
+    eval: EvalSection,
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        match check() {
+            Ok(summary) => println!("profile check OK: {summary}"),
+            Err(e) => {
+                eprintln!("profile check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    run();
+}
+
+fn run() {
+    let scale = Scale::from_args();
+    let size = scale.dataset_size();
+    let dim = scale.dim();
+    let epochs = scale.epochs().min(3);
+    let queries: Vec<usize> = (0..scale.queries().min(8)).collect();
+    eprintln!("profile run — scale {} ({size} trajectories, dim {dim}, {epochs} epochs)", scale.name());
+
+    let ds = Dataset::generate(&DatasetConfig::new(DatasetKind::PortoLike, size, 42));
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let dmat = ds.train_distance_matrix(Metric::Dtw, &MetricParams::default(), host_cores);
+
+    let mcfg = ModelConfig { dim, seed: 42 };
+    let model = ModelKind::Tmn.build(&mcfg);
+    // threads=1: all instrumented work happens on this thread, so summed op
+    // time is directly comparable to the training wall clock.
+    let cfg = TrainConfig { epochs, batch_pairs: 64, threads: 1, ..Default::default() };
+    let sink = TelemetrySink::to_file(TELEMETRY_PATH).expect("create telemetry file");
+    let mut trainer = Trainer::new(
+        model.as_ref(),
+        &ds.train,
+        &dmat,
+        Metric::Dtw,
+        MetricParams::default(),
+        Box::new(RankSampler),
+        cfg,
+        None,
+    )
+    .with_telemetry(sink);
+
+    profiler::set_enabled(true);
+    profiler::reset();
+    let t0 = Instant::now();
+    let stats = trainer.train();
+    let train_wall = t0.elapsed();
+    let train_ops = profiler::snapshot();
+    let instrumented_ns = profiler::total_ns();
+    let coverage = instrumented_ns as f64 / train_wall.as_nanos().max(1) as f64;
+
+    profiler::reset();
+    let (phases, _results) = time_search_phases(model.as_ref(), &ds.train, &queries, 10, 32);
+    let eval_ops = profiler::snapshot();
+    profiler::set_enabled(false);
+
+    let wall_ns = train_wall.as_nanos() as u64;
+    let mut table = Table::new(&["Op", "Kind", "Calls", "Total ms", "% wall", "GFLOP/s"]);
+    for r in train_ops.iter().take(TOP_K) {
+        table.row(&[
+            r.name.clone(),
+            r.kind.clone(),
+            r.calls.to_string(),
+            format!("{:.2}", r.total_ns as f64 / 1e6),
+            format!("{:.1}%", 100.0 * r.total_ns as f64 / wall_ns.max(1) as f64),
+            if r.flops > 0 { format!("{:.2}", r.gflops()) } else { "-".to_string() },
+        ]);
+    }
+    println!("\nTraining: top {TOP_K} ops by total time ({:.2} s wall, {:.1}% instrumented)", train_wall.as_secs_f64(), 100.0 * coverage);
+    table.print();
+    let (fe, fi, fr) = phases.fractions();
+    println!(
+        "\nEval search ({} queries): embed {:.1}% | index {:.1}% | rank {:.1}% of {:.3} s",
+        phases.queries,
+        100.0 * fe,
+        100.0 * fi,
+        100.0 * fr,
+        phases.total_s()
+    );
+
+    let report = Report {
+        scale: scale.name().to_string(),
+        dim,
+        train_trajectories: ds.train.len(),
+        queries: queries.len(),
+        telemetry_path: TELEMETRY_PATH.to_string(),
+        train: TrainSection {
+            wall_s: train_wall.as_secs_f64(),
+            epochs: stats.epochs.len(),
+            pairs: stats.epochs.iter().map(|e| e.pairs).sum(),
+            instrumented_ns,
+            coverage,
+            ops: train_ops,
+        },
+        eval: EvalSection { phases, ops: eval_ops },
+    };
+    write_json("PROFILE_ops", &report).expect("write results");
+}
+
+/// Validate the emitted artifacts (used by `scripts/ci.sh` as a smoke test).
+fn check() -> Result<String, String> {
+    let text = std::fs::read_to_string(OPS_PATH).map_err(|e| format!("read {OPS_PATH}: {e}"))?;
+    let report: Report =
+        serde_json::from_str(&text).map_err(|e| format!("parse {OPS_PATH}: {e}"))?;
+
+    if report.train.ops.is_empty() {
+        return Err("no training op records".into());
+    }
+    for r in report.train.ops.iter().chain(&report.eval.ops) {
+        if r.calls == 0 {
+            return Err(format!("op {} has zero calls", r.name));
+        }
+        if !matches!(r.kind.as_str(), "forward" | "backward" | "phase") {
+            return Err(format!("op {} has unknown kind {:?}", r.name, r.kind));
+        }
+    }
+    for kind in ["forward", "backward"] {
+        if !report.train.ops.iter().any(|r| r.kind == kind && r.flops > 0) {
+            return Err(format!("no {kind} record with a FLOP estimate"));
+        }
+    }
+    if !(report.train.coverage > 0.5 && report.train.coverage < 1.5) {
+        return Err(format!("implausible training coverage {:.3}", report.train.coverage));
+    }
+    if report.train.wall_s <= 0.0 || report.eval.phases.total_s() <= 0.0 {
+        return Err("non-positive wall times".into());
+    }
+
+    let telemetry = std::fs::read_to_string(&report.telemetry_path)
+        .map_err(|e| format!("read {}: {e}", report.telemetry_path))?;
+    let (mut batches, mut epochs) = (0usize, 0usize);
+    for line in telemetry.lines().filter(|l| !l.is_empty()) {
+        let v: serde_json::Value =
+            serde_json::from_str(line).map_err(|e| format!("bad telemetry line: {e}"))?;
+        match v.get_field("record") {
+            Some(serde_json::Value::Str(s)) if s == "batch" => {
+                serde_json::from_str::<BatchTelemetry>(line)
+                    .map_err(|e| format!("bad batch record: {e}"))?;
+                batches += 1;
+            }
+            Some(serde_json::Value::Str(s)) if s == "epoch" => {
+                serde_json::from_str::<EpochTelemetry>(line)
+                    .map_err(|e| format!("bad epoch record: {e}"))?;
+                epochs += 1;
+            }
+            other => return Err(format!("unknown telemetry discriminator {other:?}")),
+        }
+    }
+    if epochs != report.train.epochs || batches == 0 {
+        return Err(format!(
+            "telemetry mismatch: {epochs} epoch records (expected {}), {batches} batch records",
+            report.train.epochs
+        ));
+    }
+    Ok(format!(
+        "{} train ops, coverage {:.1}%, {batches} batch + {epochs} epoch telemetry records",
+        report.train.ops.len(),
+        100.0 * report.train.coverage
+    ))
+}

@@ -14,11 +14,22 @@ use tmn_data::Sampler;
 use tmn_traj::metrics::{prefix_distances, Metric, MetricParams};
 use tmn_traj::{DistanceMatrix, SimilarityMatrix, Trajectory};
 use tmn_autograd::optim::{clip_grad_norm, train_step, Adam};
+use tmn_obs::{profiler, BatchTelemetry, EpochTelemetry, TelemetrySink};
 
 /// One pair's master-computed targets: (similarity, rank weight, prefix
 /// sub-targets) — everything a data-parallel worker needs besides the
 /// trajectories themselves.
 type TargetRow = (f32, f32, Vec<(usize, f32)>);
+
+/// What one gradient step reports back to the epoch loop.
+struct StepInfo {
+    /// Loss summed over the batch's pairs.
+    loss_sum: f32,
+    /// Pre-clip global gradient L2 norm.
+    grad_norm: f32,
+    /// Data-parallel workers actually used (1 = serial path).
+    workers: usize,
+}
 
 /// Per-epoch training statistics.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -73,6 +84,9 @@ pub struct Trainer<'a> {
     /// (`Tensor` graphs are `!Send`, so replicas are constructed in-thread
     /// and loaded from a weight snapshot). `None` disables parallelism.
     replica_spec: Option<(ModelKind, ModelConfig)>,
+    /// Optional JSONL stream of per-batch/per-epoch records. Telemetry reads
+    /// only already-computed scalars, so it never perturbs training.
+    telemetry: Option<TelemetrySink>,
 }
 
 impl<'a> Trainer<'a> {
@@ -106,6 +120,7 @@ impl<'a> Trainer<'a> {
             rng,
             sub_cache: HashMap::new(),
             replica_spec: None,
+            telemetry: None,
         }
     }
 
@@ -115,6 +130,13 @@ impl<'a> Trainer<'a> {
     /// when `config.threads > 1` and the model supports it.
     pub fn with_replicas(mut self, kind: ModelKind, mconfig: ModelConfig) -> Trainer<'a> {
         self.replica_spec = Some((kind, mconfig));
+        self
+    }
+
+    /// Stream one [`BatchTelemetry`] record per gradient step and one
+    /// [`EpochTelemetry`] record per epoch into `sink` as JSON lines.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Trainer<'a> {
+        self.telemetry = Some(sink);
         self
     }
 
@@ -153,7 +175,7 @@ impl<'a> Trainer<'a> {
     /// otherwise (including `threads == 1`) runs the classic serial path
     /// unchanged, so single-threaded configs stay bit-identical to the
     /// original trainer.
-    fn step(&mut self, pairs: &[(usize, usize, f32)]) -> f32 {
+    fn step(&mut self, pairs: &[(usize, usize, f32)]) -> StepInfo {
         let workers = self.config.threads.max(1).min(pairs.len());
         if workers > 1 && self.replica_spec.is_some() && self.model.supports_data_parallel() {
             self.step_parallel(pairs, workers)
@@ -162,21 +184,25 @@ impl<'a> Trainer<'a> {
         }
     }
 
-    fn step_serial(&mut self, pairs: &[(usize, usize, f32)]) -> f32 {
-        let anchors: Vec<&Trajectory> = pairs.iter().map(|&(a, _, _)| &self.train[a]).collect();
-        let samples: Vec<&Trajectory> = pairs.iter().map(|&(_, s, _)| &self.train[s]).collect();
-        let batch = PairBatch::build(&anchors, &samples);
-        let targets = PairTargets {
-            sim: pairs.iter().map(|&(a, s, _)| self.smat.get(a, s) as f32).collect(),
-            weight: pairs.iter().map(|&(_, _, w)| w).collect(),
-            sub: pairs.iter().map(|&(a, s, _)| self.sub_targets(a, s)).collect(),
+    fn step_serial(&mut self, pairs: &[(usize, usize, f32)]) -> StepInfo {
+        let (batch, targets) = {
+            let _prof = profiler::phase("trainer.batch_prep");
+            let anchors: Vec<&Trajectory> = pairs.iter().map(|&(a, _, _)| &self.train[a]).collect();
+            let samples: Vec<&Trajectory> = pairs.iter().map(|&(_, s, _)| &self.train[s]).collect();
+            let batch = PairBatch::build(&anchors, &samples);
+            let targets = PairTargets {
+                sim: pairs.iter().map(|&(a, s, _)| self.smat.get(a, s) as f32).collect(),
+                weight: pairs.iter().map(|&(_, _, w)| w).collect(),
+                sub: pairs.iter().map(|&(a, s, _)| self.sub_targets(a, s)).collect(),
+            };
+            (batch, targets)
         };
         let encoded = self.model.encode_pairs(&batch);
         let loss = pair_loss(&encoded, &batch, &targets, self.config.loss);
-        let (loss_val, _norm) =
+        let (loss_val, norm) =
             train_step(self.model.params(), &mut self.optimizer, &loss, self.config.clip);
         self.model.post_step(&batch, &encoded);
-        loss_val
+        StepInfo { loss_sum: loss_val, grad_norm: norm, workers: 1 }
     }
 
     /// Synchronous data-parallel gradient step.
@@ -199,7 +225,8 @@ impl<'a> Trainer<'a> {
     ///
     /// `post_step` is *not* invoked here: models that rely on it report
     /// `supports_data_parallel() == false` and never reach this path.
-    fn step_parallel(&mut self, pairs: &[(usize, usize, f32)], workers: usize) -> f32 {
+    fn step_parallel(&mut self, pairs: &[(usize, usize, f32)], workers: usize) -> StepInfo {
+        let prep = profiler::phase("trainer.batch_prep");
         let (kind, mconfig) = self.replica_spec.expect("step_parallel requires a replica spec");
         // Group similar-length pairs into the same chunk (longest first,
         // stable for determinism) so short chunks aren't padded to the
@@ -218,6 +245,7 @@ impl<'a> Trainer<'a> {
             .collect();
         let pairs: &[(usize, usize, f32)] = &pairs;
         let snap = self.model.params().snapshot();
+        drop(prep);
         let chunk_len = pairs.len().div_ceil(workers);
         let train = self.train;
         let loss_kind = self.config.loss;
@@ -260,13 +288,44 @@ impl<'a> Trainer<'a> {
         let params = self.model.params();
         params.zero_grad();
         let mut total_loss = 0.0f32;
-        for (grads, chunk_loss) in &results {
-            params.accumulate_grads(grads);
-            total_loss += chunk_loss;
+        {
+            let _prof = profiler::phase("trainer.grad_reduce");
+            for (grads, chunk_loss) in &results {
+                params.accumulate_grads(grads);
+                total_loss += chunk_loss;
+            }
         }
-        clip_grad_norm(params, self.config.clip);
+        let norm = clip_grad_norm(params, self.config.clip);
         self.optimizer.step(params);
-        total_loss
+        StepInfo { loss_sum: total_loss, grad_norm: norm, workers }
+    }
+
+    /// One gradient step plus its telemetry record. Returns the batch's
+    /// summed loss.
+    fn run_batch(&mut self, epoch: usize, batch: usize, chunk: &[(usize, usize, f32)]) -> f32 {
+        let start = Instant::now();
+        let info = self.step(chunk);
+        let lr = self.optimizer.lr();
+        if let Some(sink) = self.telemetry.as_mut() {
+            let max_len = chunk
+                .iter()
+                .map(|&(a, s, _)| self.train[a].len().max(self.train[s].len()))
+                .max()
+                .unwrap_or(0);
+            sink.emit(&BatchTelemetry {
+                record: BatchTelemetry::RECORD.to_string(),
+                epoch,
+                batch,
+                pairs: chunk.len(),
+                max_len,
+                workers: info.workers,
+                loss: info.loss_sum / chunk.len().max(1) as f32,
+                grad_norm: info.grad_norm,
+                lr,
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+        info.loss_sum
     }
 
     /// Run one epoch: every training trajectory serves as anchor once.
@@ -278,26 +337,44 @@ impl<'a> Trainer<'a> {
         let mut buffer: Vec<(usize, usize, f32)> = Vec::with_capacity(self.config.batch_pairs * 2);
         let mut total_loss = 0.0f64;
         let mut total_pairs = 0usize;
+        let mut batches = 0usize;
         for &anchor in &order {
-            let samples = self.sampler.sample(anchor, k, self.dmat, &mut self.rng);
+            let samples = {
+                let _prof = profiler::phase("trainer.sampling");
+                self.sampler.sample(anchor, k, self.dmat, &mut self.rng)
+            };
             buffer.extend(samples.pairs());
             while buffer.len() >= self.config.batch_pairs {
                 let chunk: Vec<_> = buffer.drain(..self.config.batch_pairs).collect();
-                total_loss += self.step(&chunk) as f64;
+                total_loss += self.run_batch(epoch, batches, &chunk) as f64;
                 total_pairs += chunk.len();
+                batches += 1;
             }
         }
         if !buffer.is_empty() {
             let chunk: Vec<_> = std::mem::take(&mut buffer);
-            total_loss += self.step(&chunk) as f64;
+            total_loss += self.run_batch(epoch, batches, &chunk) as f64;
             total_pairs += chunk.len();
+            batches += 1;
         }
-        EpochStats {
+        let stats = EpochStats {
             epoch,
             loss: (total_loss / total_pairs.max(1) as f64) as f32,
             pairs: total_pairs,
             seconds: start.elapsed().as_secs_f64(),
+        };
+        if let Some(sink) = self.telemetry.as_mut() {
+            sink.emit(&EpochTelemetry {
+                record: EpochTelemetry::RECORD.to_string(),
+                epoch,
+                batches,
+                pairs: stats.pairs,
+                loss: stats.loss,
+                wall_s: stats.seconds,
+            });
+            sink.flush();
         }
+        stats
     }
 
     /// Run all configured epochs.
@@ -522,6 +599,89 @@ mod tests {
         let model = ModelKind::NeuTraj.build(&ModelConfig { dim: 8, seed: 1 });
         assert!(!model.supports_data_parallel());
         assert!(ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 1 }).supports_data_parallel());
+    }
+
+    #[test]
+    fn telemetry_streams_batch_and_epoch_records() {
+        let train = toy_set(10);
+        let dmat = DistanceMatrix::compute(&train, Metric::Dtw, &MetricParams::default(), 1);
+        let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 7 });
+        let (sink, buf) = TelemetrySink::memory();
+        let mut trainer = Trainer::new(
+            model.as_ref(),
+            &train,
+            &dmat,
+            Metric::Dtw,
+            MetricParams::default(),
+            Box::new(RankSampler),
+            TrainConfig { epochs: 2, ..quick_config() },
+            None,
+        )
+        .with_telemetry(sink);
+        let stats = trainer.train();
+
+        let mut batch_records = Vec::new();
+        let mut epoch_records = Vec::new();
+        for line in buf.lines() {
+            let v: serde_json::Value = serde_json::from_str(&line).expect("telemetry line is JSON");
+            match v.get_field("record") {
+                Some(serde_json::Value::Str(s)) if s == "batch" => {
+                    batch_records.push(serde_json::from_str::<BatchTelemetry>(&line).unwrap())
+                }
+                Some(serde_json::Value::Str(s)) if s == "epoch" => {
+                    epoch_records.push(serde_json::from_str::<EpochTelemetry>(&line).unwrap())
+                }
+                other => panic!("unknown record discriminator: {other:?}"),
+            }
+        }
+        assert_eq!(epoch_records.len(), 2, "one epoch record per epoch");
+        assert!(!batch_records.is_empty());
+        // Per-epoch pair counts reconcile with the batch stream.
+        for (e, er) in epoch_records.iter().enumerate() {
+            let pairs: usize =
+                batch_records.iter().filter(|b| b.epoch == e).map(|b| b.pairs).sum();
+            assert_eq!(pairs, er.pairs, "epoch {e} pair count mismatch");
+            let batches = batch_records.iter().filter(|b| b.epoch == e).count();
+            assert_eq!(batches, er.batches);
+            assert!((er.loss - stats.epochs[e].loss).abs() < 1e-6);
+        }
+        for b in &batch_records {
+            assert_eq!(b.workers, 1);
+            assert!(b.max_len > 0);
+            assert!(b.loss.is_finite() && b.grad_norm.is_finite());
+            assert!(b.lr > 0.0);
+        }
+    }
+
+    #[test]
+    fn telemetry_does_not_change_training_bits() {
+        let (plain_losses, plain_weights) = train_run(ModelKind::Tmn, 1, false);
+        let train = toy_set(12);
+        let dmat = DistanceMatrix::compute(&train, Metric::Dtw, &MetricParams::default(), 1);
+        let mcfg = ModelConfig { dim: 8, seed: 9 };
+        let model = ModelKind::Tmn.build(&mcfg);
+        let (sink, _buf) = TelemetrySink::memory();
+        let mut trainer = Trainer::new(
+            model.as_ref(),
+            &train,
+            &dmat,
+            Metric::Dtw,
+            MetricParams::default(),
+            Box::new(RankSampler),
+            TrainConfig { epochs: 2, ..quick_config() },
+            None,
+        )
+        .with_telemetry(sink);
+        let stats = trainer.train();
+        let losses: Vec<u32> = stats.epochs.iter().map(|e| e.loss.to_bits()).collect();
+        let weights: Vec<Vec<u32>> = model
+            .params()
+            .snapshot()
+            .into_iter()
+            .map(|(_, _, d)| d.into_iter().map(f32::to_bits).collect())
+            .collect();
+        assert_eq!(plain_losses, losses, "telemetry changed the loss curve");
+        assert_eq!(plain_weights, weights, "telemetry changed the trained weights");
     }
 
     #[test]

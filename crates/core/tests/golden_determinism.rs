@@ -1,0 +1,131 @@
+//! Golden-file determinism: a fixed-seed training run must reproduce the
+//! committed loss curve and final-weight fingerprint *bit for bit*, both
+//! serially (threads=1) and data-parallel (threads=4, which has its own
+//! snapshot because f32 reduction order differs).
+//!
+//! Regenerate the snapshots after an intentional numerics change with:
+//!
+//! ```text
+//! TMN_UPDATE_GOLDEN=1 cargo test -p tmn-core --test golden_determinism
+//! ```
+
+use tmn_core::{LossKind, ModelConfig, ModelKind, TrainConfig, Trainer};
+use tmn_data::RankSampler;
+use tmn_traj::metrics::{Metric, MetricParams};
+use tmn_traj::{DistanceMatrix, Point, Trajectory};
+
+fn toy_set(n: usize) -> Vec<Trajectory> {
+    (0..n)
+        .map(|i| {
+            let off = i as f64 / n as f64;
+            (0..12).map(|t| Point::new(0.08 * t as f64, off)).collect()
+        })
+        .collect()
+}
+
+/// The fixed-seed run under test: 2 epochs of TMN on 12 toy trajectories.
+/// Returns per-epoch loss bits and a 64-bit FNV-1a fingerprint of every
+/// trained weight's bit pattern (name order is ParamSet registration order,
+/// which is deterministic).
+fn golden_run(threads: usize) -> (Vec<u32>, u64) {
+    let train = toy_set(12);
+    let dmat = DistanceMatrix::compute(&train, Metric::Dtw, &MetricParams::default(), 1);
+    let mcfg = ModelConfig { dim: 8, seed: 9 };
+    let model = ModelKind::Tmn.build(&mcfg);
+    let cfg = TrainConfig {
+        epochs: 2,
+        lr: 5e-3,
+        sampling_number: 6,
+        batch_pairs: 12,
+        loss: LossKind::Mse,
+        use_sub_loss: true,
+        sub_stride: 5,
+        clip: 5.0,
+        seed: 11,
+        threads,
+    };
+    let mut trainer = Trainer::new(
+        model.as_ref(),
+        &train,
+        &dmat,
+        Metric::Dtw,
+        MetricParams::default(),
+        Box::new(RankSampler),
+        cfg,
+        None,
+    );
+    if threads > 1 {
+        trainer = trainer.with_replicas(ModelKind::Tmn, mcfg);
+    }
+    let stats = trainer.train();
+    let losses = stats.epochs.iter().map(|e| e.loss.to_bits()).collect();
+
+    let mut hash = 0xcbf29ce484222325u64; // FNV-1a offset basis
+    for (name, _, data) in model.params().snapshot() {
+        for b in name.bytes() {
+            hash = (hash ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        for v in data {
+            for b in v.to_bits().to_le_bytes() {
+                hash = (hash ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+        }
+    }
+    (losses, hash)
+}
+
+fn render(losses: &[u32], weight_hash: u64) -> String {
+    let mut out = String::new();
+    for l in losses {
+        out.push_str(&format!("loss {l:08x} # {}\n", f32::from_bits(*l)));
+    }
+    out.push_str(&format!("weights {weight_hash:016x}\n"));
+    out
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn check_against_golden(name: &str, threads: usize) {
+    let (losses, weight_hash) = golden_run(threads);
+    let rendered = render(&losses, weight_hash);
+    let path = golden_path(name);
+    if std::env::var("TMN_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with TMN_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        committed, rendered,
+        "fixed-seed run (threads={threads}) diverged from {}; if the numerics \
+         change was intentional, regenerate with TMN_UPDATE_GOLDEN=1",
+        path.display()
+    );
+}
+
+#[test]
+fn serial_run_matches_committed_snapshot() {
+    check_against_golden("loss_curve_threads1.txt", 1);
+}
+
+#[test]
+fn parallel_run_matches_committed_snapshot() {
+    check_against_golden("loss_curve_threads4.txt", 4);
+}
+
+#[test]
+fn golden_run_is_reproducible_within_process() {
+    // The snapshot premise: two identical in-process runs agree bit for bit.
+    let (l1, h1) = golden_run(1);
+    let (l2, h2) = golden_run(1);
+    assert_eq!(l1, l2);
+    assert_eq!(h1, h2);
+}

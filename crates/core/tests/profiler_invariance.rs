@@ -1,0 +1,95 @@
+//! The profiler must be a pure observer: training with the op-level
+//! profiler enabled has to produce bitwise-identical loss curves and model
+//! parameters to training with it disabled.
+//!
+//! Kept as a single test function: the profiler enable flag is
+//! process-global, and this integration-test binary owns its process.
+
+use tmn_core::{LossKind, ModelConfig, ModelKind, TrainConfig, Trainer};
+use tmn_data::RankSampler;
+use tmn_obs::profiler;
+use tmn_traj::metrics::{Metric, MetricParams};
+use tmn_traj::{DistanceMatrix, Point, Trajectory};
+
+fn toy_set(n: usize) -> Vec<Trajectory> {
+    (0..n)
+        .map(|i| {
+            let off = i as f64 / n as f64;
+            (0..12).map(|t| Point::new(0.08 * t as f64, off)).collect()
+        })
+        .collect()
+}
+
+fn train_run(threads: usize) -> (Vec<u32>, Vec<Vec<u32>>) {
+    let train = toy_set(12);
+    let dmat = DistanceMatrix::compute(&train, Metric::Dtw, &MetricParams::default(), 1);
+    let mcfg = ModelConfig { dim: 8, seed: 9 };
+    let model = ModelKind::Tmn.build(&mcfg);
+    let cfg = TrainConfig {
+        epochs: 2,
+        lr: 5e-3,
+        sampling_number: 6,
+        batch_pairs: 12,
+        loss: LossKind::Mse,
+        use_sub_loss: true,
+        sub_stride: 5,
+        clip: 5.0,
+        seed: 11,
+        threads,
+    };
+    let mut trainer = Trainer::new(
+        model.as_ref(),
+        &train,
+        &dmat,
+        Metric::Dtw,
+        MetricParams::default(),
+        Box::new(RankSampler),
+        cfg,
+        None,
+    );
+    if threads > 1 {
+        trainer = trainer.with_replicas(ModelKind::Tmn, mcfg);
+    }
+    let stats = trainer.train();
+    let losses = stats.epochs.iter().map(|e| e.loss.to_bits()).collect();
+    let weights = model
+        .params()
+        .snapshot()
+        .into_iter()
+        .map(|(_, _, d)| d.into_iter().map(f32::to_bits).collect())
+        .collect();
+    (losses, weights)
+}
+
+#[test]
+fn profiler_on_and_off_train_identically() {
+    profiler::set_enabled(false);
+    profiler::reset();
+    let (off_losses, off_weights) = train_run(1);
+
+    profiler::set_enabled(true);
+    profiler::reset();
+    let (on_losses, on_weights) = train_run(1);
+    let records = profiler::snapshot();
+    profiler::set_enabled(false);
+
+    assert!(!records.is_empty(), "enabled profiler recorded nothing");
+    assert!(
+        records.iter().any(|r| r.kind == "forward") && records.iter().any(|r| r.kind == "backward"),
+        "expected both forward and backward records"
+    );
+    assert_eq!(off_losses, on_losses, "profiler changed the loss curve");
+    assert_eq!(off_weights, on_weights, "profiler changed the trained weights");
+
+    // Same invariance on the data-parallel path (worker threads have the
+    // profiler's thread-local op tags of their own).
+    profiler::set_enabled(false);
+    profiler::reset();
+    let (off_losses, off_weights) = train_run(4);
+    profiler::set_enabled(true);
+    profiler::reset();
+    let (on_losses, on_weights) = train_run(4);
+    profiler::set_enabled(false);
+    assert_eq!(off_losses, on_losses, "profiler changed the parallel loss curve");
+    assert_eq!(off_weights, on_weights, "profiler changed the parallel trained weights");
+}

@@ -29,5 +29,6 @@ pub use search::{
     embedding_distance, encode_all, pairwise_query_distances, predicted_distance_rows,
 };
 pub use timing::{
-    time_embedding_distance, time_exact_pairwise, time_inference_per_trajectory, EfficiencyRow,
+    time_embedding_distance, time_exact_pairwise, time_inference_per_trajectory,
+    time_search_phases, EfficiencyRow, SearchPhases,
 };

@@ -8,6 +8,7 @@
 
 use tmn_autograd::{no_grad, ops};
 use tmn_core::{PairBatch, PairModel};
+use tmn_obs::profiler;
 use tmn_traj::Trajectory;
 
 /// Euclidean distance between two embedding vectors.
@@ -20,6 +21,7 @@ pub fn embedding_distance(a: &[f32], b: &[f32]) -> f64 {
 /// `is_pair_dependent() == false`.
 pub fn encode_all(model: &dyn PairModel, trajs: &[Trajectory], batch_size: usize) -> Vec<Vec<f32>> {
     assert!(batch_size > 0, "encode_all: batch_size must be positive");
+    let _prof = profiler::phase("search.encode_all");
     let d = model.dim();
     let mut out = Vec::with_capacity(trajs.len());
     no_grad(|| {
@@ -46,6 +48,7 @@ pub fn pairwise_query_distances(
     batch_size: usize,
 ) -> Vec<f64> {
     assert!(batch_size > 0, "pairwise_query_distances: batch_size must be positive");
+    let _prof = profiler::phase("search.pairwise_query");
     let d = model.dim();
     let mut out = Vec::with_capacity(candidates.len());
     no_grad(|| {

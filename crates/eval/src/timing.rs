@@ -62,6 +62,80 @@ pub fn time_embedding_distance(dim: usize, reps: usize) -> f64 {
     start.elapsed().as_secs_f64() / reps.max(1) as f64
 }
 
+/// Wall-clock breakdown of an end-to-end top-k similarity search.
+///
+/// "Embed" covers model encoding (for pair-dependent models, all per-query
+/// pair encodings), "index" covers building the [`crate::EmbeddingStore`]
+/// (zero for pair-dependent models, which cannot be pre-indexed), and "rank"
+/// covers nearest-neighbor scanning/ordering.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct SearchPhases {
+    pub embed_s: f64,
+    pub index_s: f64,
+    pub rank_s: f64,
+    pub queries: usize,
+}
+
+impl SearchPhases {
+    pub fn total_s(&self) -> f64 {
+        self.embed_s + self.index_s + self.rank_s
+    }
+
+    /// Fraction of total time in each phase, `(embed, index, rank)`.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total_s().max(1e-12);
+        (self.embed_s / t, self.index_s / t, self.rank_s / t)
+    }
+}
+
+/// Run a full top-k search for `queries` (database indices) over `trajs`
+/// and report per-phase timings alongside each query's `(index, distance)`
+/// result list (self included).
+///
+/// Independent-embedding models go through encode → store-build → k-NN scan;
+/// pair-dependent models (TMN) pay the encoding per query and skip the
+/// index phase entirely — the cost asymmetry of the paper's Table III.
+pub fn time_search_phases(
+    model: &dyn PairModel,
+    trajs: &[Trajectory],
+    queries: &[usize],
+    k: usize,
+    batch_size: usize,
+) -> (SearchPhases, Vec<Vec<(usize, f64)>>) {
+    let _prof = tmn_obs::profiler::phase("eval.search");
+    if model.is_pair_dependent() {
+        let start = Instant::now();
+        let rows: Vec<Vec<f64>> = queries
+            .iter()
+            .map(|&q| crate::search::pairwise_query_distances(model, &trajs[q], trajs, batch_size))
+            .collect();
+        let embed_s = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let results = rows
+            .iter()
+            .map(|row| {
+                let mut idx: Vec<usize> = (0..row.len()).collect();
+                idx.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap().then(a.cmp(&b)));
+                idx.truncate(k);
+                idx.into_iter().map(|i| (i, row[i])).collect()
+            })
+            .collect();
+        let rank_s = start.elapsed().as_secs_f64();
+        (SearchPhases { embed_s, index_s: 0.0, rank_s, queries: queries.len() }, results)
+    } else {
+        let start = Instant::now();
+        let emb = crate::search::encode_all(model, trajs, batch_size);
+        let embed_s = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let store = crate::EmbeddingStore::from_vectors(&emb);
+        let index_s = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let results = queries.iter().map(|&q| store.knn_exact(&emb[q], k)).collect();
+        let rank_s = start.elapsed().as_secs_f64();
+        (SearchPhases { embed_s, index_s, rank_s, queries: queries.len() }, results)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +161,33 @@ mod tests {
         let model = ModelKind::Srn.build(&ModelConfig { dim: 8, seed: 1 });
         let t = time_inference_per_trajectory(model.as_ref(), &trajs(4, 10), 4);
         assert!(t > 0.0 && t.is_finite());
+    }
+
+    #[test]
+    fn search_phases_independent_model() {
+        let model = ModelKind::Srn.build(&ModelConfig { dim: 8, seed: 1 });
+        let ts = trajs(8, 10);
+        let (phases, results) = time_search_phases(model.as_ref(), &ts, &[0, 3], 4, 4);
+        assert_eq!(phases.queries, 2);
+        assert!(phases.embed_s > 0.0 && phases.rank_s > 0.0);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].len(), 4);
+        // The query itself is its own nearest neighbor at distance ~0.
+        assert_eq!(results[0][0].0, 0);
+        assert!(results[0][0].1 < 1e-6);
+        let (fe, fi, fr) = phases.fractions();
+        assert!((fe + fi + fr - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn search_phases_pair_dependent_model_skips_index() {
+        let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 2 });
+        let ts = trajs(6, 8);
+        let (phases, results) = time_search_phases(model.as_ref(), &ts, &[1], 3, 3);
+        assert_eq!(phases.index_s, 0.0, "pair-dependent search has no index phase");
+        assert!(phases.embed_s > 0.0);
+        assert_eq!(results[0].len(), 3);
+        assert_eq!(results[0][0].0, 1, "self match must rank first");
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! # tmn-obs
+//!
+//! Observability layer for the TMN reproduction: an op-level profiler and a
+//! structured training-telemetry sink. Every other crate in the workspace
+//! reports through this one, so it depends only on the vendored `serde` /
+//! `serde_json` stubs.
+//!
+//! Two subsystems:
+//!
+//! - [`profiler`] — a process-global, thread-safe registry of timed scopes.
+//!   `tmn-autograd` records every forward and backward op (wall time, call
+//!   count, FLOP estimate); `tmn-core` and `tmn-eval` record coarse phases
+//!   (batch assembly, optimizer step, eval embed/index/rank). Disabled by
+//!   default: the off path is a single relaxed atomic load per scope, and
+//!   instrumentation never touches numerics either way.
+//! - [`telemetry`] — per-batch / per-epoch training records streamed as
+//!   JSON Lines, one object per line, so a run can be tailed live and
+//!   post-processed with standard tooling.
+//!
+//! ## Example
+//!
+//! ```
+//! use tmn_obs::profiler;
+//!
+//! profiler::reset();
+//! profiler::set_enabled(true);
+//! {
+//!     let _scope = profiler::scope("demo.matmul", 2 * 4 * 4 * 4);
+//!     // ... do the work being measured ...
+//! }
+//! profiler::set_enabled(false);
+//! let snap = profiler::snapshot();
+//! let rec = snap.iter().find(|r| r.name == "demo.matmul").unwrap();
+//! assert_eq!(rec.calls, 1);
+//! assert_eq!(rec.flops, 2 * 4 * 4 * 4);
+//! ```
+
+pub mod profiler;
+pub mod telemetry;
+
+pub use profiler::{OpRecord, ScopeKind};
+pub use telemetry::{BatchTelemetry, EpochTelemetry, TelemetrySink};

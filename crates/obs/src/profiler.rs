@@ -1,0 +1,260 @@
+//! Process-global op/phase profiler.
+//!
+//! A scope is `(name, kind)`; every completed scope adds one call, its wall
+//! time, and its FLOP estimate to the registry under that key. The registry
+//! is a `Mutex<HashMap>` shared by all threads — data-parallel training
+//! workers and intra-op kernel threads record into the same table.
+//!
+//! The profiler is **off by default**. When off, [`scope`] costs one relaxed
+//! atomic load and returns `None`, so instrumented hot paths stay hot; no
+//! instrumentation path ever reads or writes tensor data, so enabling the
+//! profiler cannot perturb numerics (locked in by
+//! `crates/core/tests/profiler_invariance.rs`).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// What a recorded scope measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScopeKind {
+    /// The forward computation of one tensor op.
+    Forward,
+    /// The backward closure of one tensor op (FLOPs estimated at 2× forward).
+    Backward,
+    /// A coarse non-op phase (batch assembly, optimizer step, eval stages).
+    Phase,
+}
+
+impl ScopeKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ScopeKind::Forward => "forward",
+            ScopeKind::Backward => "backward",
+            ScopeKind::Phase => "phase",
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Stat {
+    calls: u64,
+    total_ns: u64,
+    flops: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<(&'static str, ScopeKind), Stat>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<(&'static str, ScopeKind), Stat>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn registry_lock() -> std::sync::MutexGuard<'static, HashMap<(&'static str, ScopeKind), Stat>> {
+    // A panic while holding the lock only loses profiling data; keep going.
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Turn recording on or off for the whole process.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether scopes currently record. A single relaxed load — this is the
+/// entire cost of instrumentation on the disabled path.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clear every accumulated record (does not change the enabled flag).
+pub fn reset() {
+    registry_lock().clear();
+}
+
+/// Add one completed measurement to the registry.
+pub fn record(name: &'static str, kind: ScopeKind, ns: u64, flops: u64) {
+    let mut reg = registry_lock();
+    let stat = reg.entry((name, kind)).or_default();
+    stat.calls += 1;
+    stat.total_ns += ns;
+    stat.flops += flops;
+}
+
+/// RAII measurement: created by [`scope`], records on drop.
+#[must_use = "dropping the scope immediately records a ~0ns measurement"]
+pub struct Scope {
+    name: &'static str,
+    kind: ScopeKind,
+    flops: u64,
+    start: Instant,
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        record(self.name, self.kind, self.start.elapsed().as_nanos() as u64, self.flops);
+    }
+}
+
+/// Start a measurement of `kind`; `None` (and no further cost) when the
+/// profiler is disabled.
+#[inline]
+pub fn scope_kind(name: &'static str, kind: ScopeKind, flops: u64) -> Option<Scope> {
+    if !is_enabled() {
+        return None;
+    }
+    Some(Scope { name, kind, flops, start: Instant::now() })
+}
+
+/// Start a [`ScopeKind::Forward`] measurement.
+#[inline]
+pub fn scope(name: &'static str, flops: u64) -> Option<Scope> {
+    scope_kind(name, ScopeKind::Forward, flops)
+}
+
+/// Start a [`ScopeKind::Phase`] measurement (no FLOP estimate).
+#[inline]
+pub fn phase(name: &'static str) -> Option<Scope> {
+    scope_kind(name, ScopeKind::Phase, 0)
+}
+
+/// One aggregated registry row, serializable into `PROFILE_ops.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpRecord {
+    pub name: String,
+    /// `"forward"`, `"backward"` or `"phase"`.
+    pub kind: String,
+    pub calls: u64,
+    pub total_ns: u64,
+    /// Estimated floating-point operations across all calls.
+    pub flops: u64,
+}
+
+impl OpRecord {
+    pub fn total_s(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+
+    /// Estimated GFLOP/s over this record's accumulated time.
+    pub fn gflops(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.total_ns as f64
+        }
+    }
+}
+
+/// Copy of the registry, sorted by total time (descending).
+pub fn snapshot() -> Vec<OpRecord> {
+    let reg = registry_lock();
+    let mut rows: Vec<OpRecord> = reg
+        .iter()
+        .map(|(&(name, kind), stat)| OpRecord {
+            name: name.to_string(),
+            kind: kind.as_str().to_string(),
+            calls: stat.calls,
+            total_ns: stat.total_ns,
+            flops: stat.flops,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then_with(|| a.name.cmp(&b.name)));
+    rows
+}
+
+/// Sum of recorded time over every scope, in nanoseconds. Scopes are
+/// disjoint by construction (ops never nest; phases wrap only non-op work),
+/// so this is comparable against a wall-clock measurement of the same span.
+pub fn total_ns() -> u64 {
+    registry_lock().values().map(|s| s.total_ns).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests share the process-global registry; serialize the ones that
+    /// reset or toggle it.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_scope_is_none_and_records_nothing() {
+        let _l = test_lock();
+        set_enabled(false);
+        reset();
+        assert!(scope("test.off", 10).is_none());
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn enabled_scope_accumulates_calls_time_flops() {
+        let _l = test_lock();
+        reset();
+        set_enabled(true);
+        for _ in 0..3 {
+            let _s = scope("test.op_a", 100);
+        }
+        {
+            let _s = scope_kind("test.op_a", ScopeKind::Backward, 200);
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        let fwd = snap.iter().find(|r| r.name == "test.op_a" && r.kind == "forward").unwrap();
+        assert_eq!(fwd.calls, 3);
+        assert_eq!(fwd.flops, 300);
+        let bwd = snap.iter().find(|r| r.name == "test.op_a" && r.kind == "backward").unwrap();
+        assert_eq!(bwd.calls, 1);
+        assert_eq!(bwd.flops, 200);
+        reset();
+    }
+
+    #[test]
+    fn snapshot_sorted_by_total_time() {
+        let _l = test_lock();
+        reset();
+        record("test.slow", ScopeKind::Phase, 5_000, 0);
+        record("test.fast", ScopeKind::Phase, 10, 0);
+        let snap = snapshot();
+        let slow = snap.iter().position(|r| r.name == "test.slow").unwrap();
+        let fast = snap.iter().position(|r| r.name == "test.fast").unwrap();
+        assert!(slow < fast, "snapshot not sorted by total_ns desc");
+        assert_eq!(total_ns(), 5_010);
+        reset();
+    }
+
+    #[test]
+    fn records_from_worker_threads_land_in_registry() {
+        let _l = test_lock();
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| record("test.threaded", ScopeKind::Forward, 7, 1));
+            }
+        });
+        let snap = snapshot();
+        let rec = snap.iter().find(|r| r.name == "test.threaded").unwrap();
+        assert_eq!(rec.calls, 4);
+        assert_eq!(rec.total_ns, 28);
+        reset();
+    }
+
+    #[test]
+    fn op_record_serializes_and_parses() {
+        let rec = OpRecord {
+            name: "matmul".into(),
+            kind: "forward".into(),
+            calls: 12,
+            total_ns: 3456,
+            flops: 7890,
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: OpRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+        assert!(rec.gflops() > 0.0);
+    }
+}

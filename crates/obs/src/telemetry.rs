@@ -1,0 +1,207 @@
+//! Structured training telemetry as JSON Lines.
+//!
+//! The trainer emits one [`BatchTelemetry`] per gradient step and one
+//! [`EpochTelemetry`] per epoch. Each record is a single JSON object on its
+//! own line (`.jsonl`), discriminated by its `record` field, so a training
+//! run can be tailed live and joined against profiler output afterwards.
+//!
+//! Schema (all numbers JSON numbers):
+//!
+//! ```json
+//! {"record":"batch","epoch":0,"batch":3,"pairs":32,"max_len":51,"workers":1,
+//!  "loss":0.1072,"grad_norm":2.31,"lr":0.005,"wall_ms":12.4}
+//! {"record":"epoch","epoch":0,"batches":4,"pairs":120,"loss":0.0981,"wall_s":0.61}
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+/// One gradient step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchTelemetry {
+    /// Always `"batch"`.
+    pub record: String,
+    pub epoch: usize,
+    /// Step index within the epoch.
+    pub batch: usize,
+    /// Pairs in this step's batch.
+    pub pairs: usize,
+    /// Longest trajectory (points) in the batch — the padded length.
+    pub max_len: usize,
+    /// Data-parallel workers the step actually used (1 = serial path).
+    pub workers: usize,
+    /// Mean loss per pair for this step.
+    pub loss: f32,
+    /// Pre-clip global gradient L2 norm.
+    pub grad_norm: f32,
+    pub lr: f32,
+    pub wall_ms: f64,
+}
+
+impl BatchTelemetry {
+    pub const RECORD: &'static str = "batch";
+}
+
+/// One completed epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochTelemetry {
+    /// Always `"epoch"`.
+    pub record: String,
+    pub epoch: usize,
+    /// Gradient steps taken this epoch.
+    pub batches: usize,
+    pub pairs: usize,
+    /// Mean loss per pair over the epoch.
+    pub loss: f32,
+    pub wall_s: f64,
+}
+
+impl EpochTelemetry {
+    pub const RECORD: &'static str = "epoch";
+}
+
+/// In-memory byte buffer shared between a [`TelemetrySink`] and a test that
+/// wants to inspect what was written.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuffer(Rc<RefCell<Vec<u8>>>);
+
+impl SharedBuffer {
+    /// The UTF-8 contents written so far.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.borrow()).into_owned()
+    }
+
+    /// Parsed non-empty lines.
+    pub fn lines(&self) -> Vec<String> {
+        self.contents().lines().filter(|l| !l.is_empty()).map(str::to_string).collect()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Destination for JSONL telemetry records.
+pub struct TelemetrySink {
+    out: Box<dyn Write>,
+}
+
+impl std::fmt::Debug for TelemetrySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetrySink").finish_non_exhaustive()
+    }
+}
+
+impl TelemetrySink {
+    /// Stream records to a file (created or truncated), buffered.
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<TelemetrySink> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(TelemetrySink { out: Box::new(BufWriter::new(File::create(path)?)) })
+    }
+
+    /// Stream records to any writer.
+    pub fn to_writer(out: Box<dyn Write>) -> TelemetrySink {
+        TelemetrySink { out }
+    }
+
+    /// An in-memory sink plus a handle to read back what was written.
+    pub fn memory() -> (TelemetrySink, SharedBuffer) {
+        let buf = SharedBuffer::default();
+        (TelemetrySink { out: Box::new(buf.clone()) }, buf)
+    }
+
+    /// Write one record as a single JSON line. Errors are reported but not
+    /// fatal: telemetry must never abort a training run.
+    pub fn emit<T: Serialize>(&mut self, record: &T) {
+        let line = serde_json::to_string(record).expect("telemetry record serializes");
+        if let Err(e) = writeln!(self.out, "{line}") {
+            eprintln!("telemetry write failed: {e}");
+        }
+    }
+
+    /// Flush buffered lines (also happens on drop for `BufWriter` files).
+    pub fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch_record() -> BatchTelemetry {
+        BatchTelemetry {
+            record: BatchTelemetry::RECORD.to_string(),
+            epoch: 1,
+            batch: 2,
+            pairs: 32,
+            max_len: 51,
+            workers: 4,
+            loss: 0.25,
+            grad_norm: 1.5,
+            lr: 5e-3,
+            wall_ms: 12.5,
+        }
+    }
+
+    #[test]
+    fn emits_one_json_object_per_line() {
+        let (mut sink, buf) = TelemetrySink::memory();
+        sink.emit(&batch_record());
+        sink.emit(&EpochTelemetry {
+            record: EpochTelemetry::RECORD.to_string(),
+            epoch: 1,
+            batches: 3,
+            pairs: 96,
+            loss: 0.2,
+            wall_s: 0.5,
+        });
+        sink.flush();
+        let lines = buf.lines();
+        assert_eq!(lines.len(), 2);
+        let b: BatchTelemetry = serde_json::from_str(&lines[0]).unwrap();
+        assert_eq!(b, batch_record());
+        let e: EpochTelemetry = serde_json::from_str(&lines[1]).unwrap();
+        assert_eq!(e.record, "epoch");
+        assert_eq!(e.pairs, 96);
+    }
+
+    #[test]
+    fn records_discriminated_by_record_field() {
+        let (mut sink, buf) = TelemetrySink::memory();
+        sink.emit(&batch_record());
+        let v: serde_json::Value = serde_json::from_str(&buf.lines()[0]).unwrap();
+        assert_eq!(v.get_field("record"), Some(&serde_json::Value::Str("batch".into())));
+        assert!(v.get_field("loss").is_some());
+        assert!(v.get_field("grad_norm").is_some());
+    }
+
+    #[test]
+    fn file_sink_roundtrip() {
+        let path = std::env::temp_dir().join("tmn_obs_telemetry_test.jsonl");
+        {
+            let mut sink = TelemetrySink::to_file(&path).unwrap();
+            sink.emit(&batch_record());
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let b: BatchTelemetry = serde_json::from_str(text.trim()).unwrap();
+        assert_eq!(b.pairs, 32);
+        let _ = std::fs::remove_file(&path);
+    }
+}

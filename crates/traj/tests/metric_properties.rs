@@ -1,0 +1,74 @@
+//! Property tests for the six exact metrics: metric axioms that must hold
+//! for arbitrary trajectories (identity, symmetry, non-negativity) and the
+//! banded-DTW upper-bound guarantee.
+
+use proptest::prelude::*;
+use tmn_traj::metrics::{dtw, dtw_banded, Metric, MetricParams};
+use tmn_traj::{Point, Trajectory};
+
+/// Strategy: a trajectory of 1..=12 points in the unit square.
+fn arb_traj() -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..=12)
+        .prop_map(|pts| pts.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// d(t, t) = 0 for the metrics whose cost of a perfect alignment is
+    /// exactly zero (DTW, Fréchet, Hausdorff, ERP).
+    #[test]
+    fn identity_of_indiscernibles(t in arb_traj()) {
+        let params = MetricParams::default();
+        for m in [Metric::Dtw, Metric::Frechet, Metric::Hausdorff, Metric::Erp] {
+            let d = m.distance(&t, &t, &params);
+            prop_assert!(d.abs() < 1e-12, "{m}: d(t,t) = {d}, expected 0");
+        }
+    }
+
+    /// All six metrics are symmetric: d(a, b) = d(b, a).
+    #[test]
+    fn symmetry(a in arb_traj(), b in arb_traj()) {
+        let params = MetricParams::default();
+        for m in Metric::ALL {
+            let ab = m.distance(&a, &b, &params);
+            let ba = m.distance(&b, &a, &params);
+            let denom = ab.abs().max(ba.abs()).max(1.0);
+            prop_assert!(
+                (ab - ba).abs() / denom < 1e-9,
+                "{m}: d(a,b) = {ab} but d(b,a) = {ba}"
+            );
+        }
+    }
+
+    /// All six metrics are non-negative and finite.
+    #[test]
+    fn non_negative_and_finite(a in arb_traj(), b in arb_traj()) {
+        let params = MetricParams::default();
+        for m in Metric::ALL {
+            let d = m.distance(&a, &b, &params);
+            prop_assert!(d.is_finite(), "{m}: d(a,b) = {d} not finite");
+            prop_assert!(d >= 0.0, "{m}: d(a,b) = {d} negative");
+        }
+    }
+
+    /// Restricting the warping path can only increase the DTW cost:
+    /// dtw_banded(a, b, band) >= dtw(a, b), with equality once the band
+    /// covers the unconstrained optimal path.
+    #[test]
+    fn banded_dtw_upper_bounds_full_dtw(
+        a in arb_traj(),
+        b in arb_traj(),
+        band in 1usize..8,
+    ) {
+        let full = dtw(&a, &b);
+        let banded = dtw_banded(&a, &b, band);
+        prop_assert!(
+            banded >= full - 1e-9,
+            "banded DTW {banded} below exact DTW {full} (band {band})"
+        );
+        // A band wide enough to cover the whole DP table is exact.
+        let wide = dtw_banded(&a, &b, a.len().max(b.len()));
+        prop_assert!((wide - full).abs() < 1e-9, "full-width band {wide} != exact {full}");
+    }
+}

@@ -13,4 +13,10 @@ cargo test -q --workspace
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== profile smoke (observability artifacts) =="
+cargo run --release -p tmn-bench --bin profile -- --quick
+test -s results/PROFILE_ops.json
+test -s results/PROFILE_telemetry.jsonl
+cargo run --release -p tmn-bench --bin profile -- --check
+
 echo "CI OK"
