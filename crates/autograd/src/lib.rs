@@ -40,5 +40,6 @@ mod profile;
 mod tensor;
 pub mod threading;
 
-pub use tensor::{grad_enabled, no_grad, BackCtx, Tensor};
+pub use profile::INSTRUMENTED_OPS;
+pub use tensor::{grad_buffer_allocs, grad_enabled, no_grad, BackCtx, Tensor};
 pub use threading::{intra_op_threads, set_intra_op_threads};

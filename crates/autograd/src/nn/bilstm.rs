@@ -31,6 +31,12 @@ impl BiLstm {
         let backward = Lstm::new(params, &format!("{name}.bwd"), input_dim, hidden, rng);
         BiLstm { forward, backward, input_dim, hidden }
     }
+
+    /// The `(forward, backward)` direction layers — used to build the
+    /// step-unrolled [`crate::nn::reference::BiLstm`] twin in parity tests.
+    pub fn directions(&self) -> (&Lstm, &Lstm) {
+        (&self.forward, &self.backward)
+    }
 }
 
 impl Recurrent for BiLstm {

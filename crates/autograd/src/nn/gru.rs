@@ -1,5 +1,12 @@
 //! Gated Recurrent Unit (Cho et al.) — the other gated RNN the paper's
 //! related work discusses (Section II-B). Used by the RNN-backbone ablation.
+//!
+//! Like [`super::Lstm`], execution runs on the fused time-major ops: two
+//! [`crate::ops::rnn_gate_preproject`] GEMMs cover the `[r | z]` and
+//! candidate input projections for every step at once, each step is one
+//! [`crate::ops::gru_cell_fused`] node, and [`crate::ops::collect_states`]
+//! assembles the `[B, m, h]` output. The step-unrolled original lives on as
+//! [`crate::nn::reference::Gru`].
 
 use super::init;
 use super::params::ParamSet;
@@ -61,6 +68,13 @@ impl Gru {
         );
         Gru { w_ih, w_hh, bias, w_in, w_hn, bias_n, input_dim, hidden }
     }
+
+    /// The weight tensors `(w_ih, w_hh, bias, w_in, w_hn, bias_n)` — used to
+    /// build the step-unrolled [`crate::nn::reference::Gru`] twin in parity
+    /// tests.
+    pub fn weights(&self) -> (&Tensor, &Tensor, &Tensor, &Tensor, &Tensor, &Tensor) {
+        (&self.w_ih, &self.w_hh, &self.bias, &self.w_in, &self.w_hn, &self.bias_n)
+    }
 }
 
 impl Recurrent for Gru {
@@ -78,29 +92,15 @@ impl Recurrent for Gru {
         let (bs, m, d) = (s[0], s[1], s[2]);
         assert_eq!(d, self.input_dim, "Gru: input dim mismatch");
         let h = self.hidden;
-        let mut hidden = Tensor::zeros(&[bs, h]);
-        let mut outs = Vec::with_capacity(m);
+        let pre_rz = ops::rnn_gate_preproject(xs, &self.w_ih, &self.bias);
+        let pre_n = ops::rnn_gate_preproject(xs, &self.w_in, &self.bias_n);
+        let mut state = Tensor::zeros(&[bs, h]);
+        let mut states = Vec::with_capacity(m);
         for t in 0..m {
-            let x_t = ops::select_time(xs, t);
-            let gates = ops::add_bias(
-                &ops::add(&ops::matmul(&x_t, &self.w_ih), &ops::matmul(&hidden, &self.w_hh)),
-                &self.bias,
-            );
-            let r = ops::sigmoid(&ops::slice_last(&gates, 0, h));
-            let z = ops::sigmoid(&ops::slice_last(&gates, h, h));
-            let n = ops::tanh(&ops::add_bias(
-                &ops::add(
-                    &ops::matmul(&x_t, &self.w_in),
-                    &ops::mul(&r, &ops::matmul(&hidden, &self.w_hn)),
-                ),
-                &self.bias_n,
-            ));
-            // h' = (1 - z) ⊙ n + z ⊙ h
-            let one_minus_z = ops::add_scalar(&ops::neg(&z), 1.0);
-            hidden = ops::add(&ops::mul(&one_minus_z, &n), &ops::mul(&z, &hidden));
-            outs.push(hidden.clone());
+            state = ops::gru_cell_fused(&pre_rz, &pre_n, t, &state, &self.w_hh, &self.w_hn);
+            states.push(state.clone());
         }
-        ops::stack_time(&outs)
+        ops::collect_states(&states, h)
     }
 }
 

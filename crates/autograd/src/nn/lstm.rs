@@ -1,8 +1,15 @@
-//! Step-unrolled LSTM over `[B, m, d_in]` sequences.
+//! Fused time-major LSTM over `[B, m, d_in]` sequences.
 //!
 //! The recurrence follows Hochreiter & Schmidhuber with a single fused gate
 //! projection (`[i | f | g | o]`), forget-gate bias initialized to 1, and
-//! orthogonal recurrent weights.
+//! orthogonal recurrent weights. Execution is the fused model of
+//! [`crate::ops::rnn_fused`]: one [`crate::ops::rnn_gate_preproject`] GEMM
+//! covers every step's input projection, each step is a single
+//! [`crate::ops::lstm_cell_fused`] node, and one
+//! [`crate::ops::collect_states`] node assembles the output — `m + 2` graph
+//! nodes per sequence instead of ~16 per step. The original step-unrolled
+//! recurrence survives as [`crate::nn::reference::Lstm`] for differential
+//! tests.
 
 use super::init;
 use super::params::ParamSet;
@@ -54,6 +61,12 @@ impl Lstm {
         self.input_dim
     }
 
+    /// The weight tensors `(w_ih, w_hh, bias)` — used to build the
+    /// step-unrolled [`crate::nn::reference::Lstm`] twin in parity tests.
+    pub fn weights(&self) -> (&Tensor, &Tensor, &Tensor) {
+        (&self.w_ih, &self.w_hh, &self.bias)
+    }
+
     /// Run over a `[B, m, d_in]` sequence; returns `Z`: `[B, m, h]`, the
     /// hidden state at every time step (Eq. 12's output matrix).
     pub fn forward_seq(&self, xs: &Tensor) -> Tensor {
@@ -66,24 +79,14 @@ impl Lstm {
         let (bs, m, d) = (s[0], s[1], s[2]);
         assert_eq!(d, self.input_dim, "Lstm: input dim mismatch");
         let h = self.hidden;
-        let mut hidden = Tensor::zeros(&[bs, h]);
-        let mut cell = Tensor::zeros(&[bs, h]);
-        let mut outs = Vec::with_capacity(m);
+        let pre = ops::rnn_gate_preproject(xs, &self.w_ih, &self.bias);
+        let mut state = Tensor::zeros(&[bs, 2 * h]);
+        let mut states = Vec::with_capacity(m);
         for t in 0..m {
-            let x_t = ops::select_time(xs, t);
-            let gates = ops::add_bias(
-                &ops::add(&ops::matmul(&x_t, &self.w_ih), &ops::matmul(&hidden, &self.w_hh)),
-                &self.bias,
-            );
-            let i = ops::sigmoid(&ops::slice_last(&gates, 0, h));
-            let f = ops::sigmoid(&ops::slice_last(&gates, h, h));
-            let g = ops::tanh(&ops::slice_last(&gates, 2 * h, h));
-            let o = ops::sigmoid(&ops::slice_last(&gates, 3 * h, h));
-            cell = ops::add(&ops::mul(&f, &cell), &ops::mul(&i, &g));
-            hidden = ops::mul(&o, &ops::tanh(&cell));
-            outs.push(hidden.clone());
+            state = ops::lstm_cell_fused(&pre, t, &state, &self.w_hh);
+            states.push(state.clone());
         }
-        ops::stack_time(&outs)
+        ops::collect_states(&states, h)
     }
 }
 
@@ -188,5 +191,18 @@ mod tests {
             },
             2e-2,
         );
+    }
+
+    #[test]
+    fn graph_node_budget_per_step() {
+        // The fused path must stay at one cell node per step plus constant
+        // per-sequence overhead — the whole point of the refactor.
+        let (_, l) = make(3, 4);
+        let m = 16;
+        let x = Tensor::from_vec(vec![0.1; 2 * m * 3], &[2, m, 3]);
+        let before = Tensor::scalar(0.0).id();
+        let z = l.forward_seq(&x);
+        let nodes = z.id() - before - 1;
+        assert!(nodes <= 3 * m as u64, "fused LSTM built {nodes} nodes for {m} steps");
     }
 }

@@ -1,5 +1,12 @@
 //! Neural-network building blocks on top of the autograd engine: parameter
-//! management, initializers, linear layers, a step-unrolled LSTM, and an MLP.
+//! management, initializers, linear layers, fused time-major recurrent
+//! layers, and an MLP.
+//!
+//! The recurrent layers ([`Lstm`], [`Gru`], [`BiLstm`]) run on the fused ops
+//! in [`crate::ops`] (`rnn_gate_preproject` + one fused cell node per step).
+//! Their original step-unrolled implementations are preserved in
+//! [`reference`] as the differential-testing oracle, mirroring how
+//! `tmn-core`'s `kernels::reference` backs the optimized kernels.
 
 mod attention;
 mod bilstm;
@@ -9,6 +16,7 @@ mod linear;
 mod lstm;
 mod mlp;
 mod params;
+pub mod reference;
 mod rnn;
 
 pub use attention::MultiHeadSelfAttention;

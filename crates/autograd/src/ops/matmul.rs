@@ -26,17 +26,17 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     mm_nn(&a.data(), &b.data(), m, k, n, &mut data);
     Tensor::from_op(&[m, n], data, vec![a.clone(), b.clone()], Box::new(move |ctx| {
         let g = ctx.out_grad;
+        // The kernels accumulate (+=), so both products land directly in the
+        // pooled gradient buffers — no zeroed temporary, no second add pass.
         if ctx.parents[0].requires_grad() {
-            // da = g · bᵀ
-            let mut da = vec![0.0f32; m * k];
-            mm_nt(g, &ctx.parents[1].data(), m, n, k, &mut da);
-            ctx.parents[0].accumulate_grad(&da);
+            // da += g · bᵀ
+            let bd = ctx.parents[1].data();
+            ctx.parents[0].accumulate_grad_with(|da| mm_nt(g, &bd, m, n, k, da));
         }
         if ctx.parents[1].requires_grad() {
-            // db = aᵀ · g
-            let mut db = vec![0.0f32; k * n];
-            mm_tn(&ctx.parents[0].data(), g, m, k, n, &mut db);
-            ctx.parents[1].accumulate_grad(&db);
+            // db += aᵀ · g
+            let ad = ctx.parents[0].data();
+            ctx.parents[1].accumulate_grad_with(|db| mm_tn(&ad, g, m, k, n, db));
         }
     }))
 }
@@ -60,23 +60,25 @@ pub fn bmm_nn(a: &Tensor, b: &Tensor) -> Tensor {
     }
     Tensor::from_op(&[bs, m, n], data, vec![a.clone(), b.clone()], Box::new(move |ctx| {
         let g = ctx.out_grad;
+        // Accumulating kernels write straight into the pooled grad buffers;
+        // batch items still cover disjoint chunks under par_batch.
         if ctx.parents[0].requires_grad() {
             let bd_ref = ctx.parents[1].data();
             let bd: &[f32] = &bd_ref;
-            let mut da = vec![0.0f32; bs * m * k];
-            par_batch(&mut da, m * k, m * n * k, |i, out| {
-                mm_nt(&g[i * m * n..(i + 1) * m * n], &bd[i * k * n..(i + 1) * k * n], m, n, k, out);
+            ctx.parents[0].accumulate_grad_with(|da| {
+                par_batch(da, m * k, m * n * k, |i, out| {
+                    mm_nt(&g[i * m * n..(i + 1) * m * n], &bd[i * k * n..(i + 1) * k * n], m, n, k, out);
+                });
             });
-            ctx.parents[0].accumulate_grad(&da);
         }
         if ctx.parents[1].requires_grad() {
             let ad_ref = ctx.parents[0].data();
             let ad: &[f32] = &ad_ref;
-            let mut db = vec![0.0f32; bs * k * n];
-            par_batch(&mut db, k * n, m * n * k, |i, out| {
-                mm_tn(&ad[i * m * k..(i + 1) * m * k], &g[i * m * n..(i + 1) * m * n], m, k, n, out);
+            ctx.parents[1].accumulate_grad_with(|db| {
+                par_batch(db, k * n, m * n * k, |i, out| {
+                    mm_tn(&ad[i * m * k..(i + 1) * m * k], &g[i * m * n..(i + 1) * m * n], m, k, n, out);
+                });
             });
-            ctx.parents[1].accumulate_grad(&db);
         }
     }))
 }
@@ -103,24 +105,24 @@ pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
     Tensor::from_op(&[bs, m, n], data, vec![a.clone(), b.clone()], Box::new(move |ctx| {
         let g = ctx.out_grad;
         if ctx.parents[0].requires_grad() {
-            // da = g · b
+            // da += g · b
             let bd_ref = ctx.parents[1].data();
             let bd: &[f32] = &bd_ref;
-            let mut da = vec![0.0f32; bs * m * k];
-            par_batch(&mut da, m * k, m * n * k, |i, out| {
-                mm_nn(&g[i * m * n..(i + 1) * m * n], &bd[i * n * k..(i + 1) * n * k], m, n, k, out);
+            ctx.parents[0].accumulate_grad_with(|da| {
+                par_batch(da, m * k, m * n * k, |i, out| {
+                    mm_nn(&g[i * m * n..(i + 1) * m * n], &bd[i * n * k..(i + 1) * n * k], m, n, k, out);
+                });
             });
-            ctx.parents[0].accumulate_grad(&da);
         }
         if ctx.parents[1].requires_grad() {
-            // db = gᵀ · a
+            // db += gᵀ · a
             let ad_ref = ctx.parents[0].data();
             let ad: &[f32] = &ad_ref;
-            let mut db = vec![0.0f32; bs * n * k];
-            par_batch(&mut db, n * k, m * n * k, |i, out| {
-                mm_tn(&g[i * m * n..(i + 1) * m * n], &ad[i * m * k..(i + 1) * m * k], m, n, k, out);
+            ctx.parents[1].accumulate_grad_with(|db| {
+                par_batch(db, n * k, m * n * k, |i, out| {
+                    mm_tn(&g[i * m * n..(i + 1) * m * n], &ad[i * m * k..(i + 1) * m * k], m, n, k, out);
+                });
             });
-            ctx.parents[1].accumulate_grad(&db);
         }
     }))
 }

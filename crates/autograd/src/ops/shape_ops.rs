@@ -44,18 +44,22 @@ pub fn concat_last(a: &Tensor, b: &Tensor) -> Tensor {
     Tensor::from_op(&shape, data, vec![a.clone(), b.clone()], Box::new(move |ctx| {
         let d = d1 + d2;
         if ctx.parents[0].requires_grad() {
-            let mut g = vec![0.0f32; rows * d1];
-            for r in 0..rows {
-                g[r * d1..(r + 1) * d1].copy_from_slice(&ctx.out_grad[r * d..r * d + d1]);
-            }
-            ctx.parents[0].accumulate_grad(&g);
+            ctx.parents[0].accumulate_grad_with(|g| {
+                for r in 0..rows {
+                    for (gv, og) in g[r * d1..(r + 1) * d1].iter_mut().zip(&ctx.out_grad[r * d..r * d + d1]) {
+                        *gv += og;
+                    }
+                }
+            });
         }
         if ctx.parents[1].requires_grad() {
-            let mut g = vec![0.0f32; rows * d2];
-            for r in 0..rows {
-                g[r * d2..(r + 1) * d2].copy_from_slice(&ctx.out_grad[r * d + d1..(r + 1) * d]);
-            }
-            ctx.parents[1].accumulate_grad(&g);
+            ctx.parents[1].accumulate_grad_with(|g| {
+                for r in 0..rows {
+                    for (gv, og) in g[r * d2..(r + 1) * d2].iter_mut().zip(&ctx.out_grad[r * d + d1..(r + 1) * d]) {
+                        *gv += og;
+                    }
+                }
+            });
         }
     }))
 }
@@ -77,12 +81,16 @@ pub fn slice_last(a: &Tensor, start: usize, len: usize) -> Tensor {
     }
     Tensor::from_op(&shape, data, vec![a.clone()], Box::new(move |ctx| {
         if ctx.parents[0].requires_grad() {
-            let mut g = vec![0.0f32; rows * n];
-            for r in 0..rows {
-                g[r * n + start..r * n + start + len]
-                    .copy_from_slice(&ctx.out_grad[r * len..(r + 1) * len]);
-            }
-            ctx.parents[0].accumulate_grad(&g);
+            ctx.parents[0].accumulate_grad_with(|g| {
+                for r in 0..rows {
+                    for (gv, og) in g[r * n + start..r * n + start + len]
+                        .iter_mut()
+                        .zip(&ctx.out_grad[r * len..(r + 1) * len])
+                    {
+                        *gv += og;
+                    }
+                }
+            });
         }
     }))
 }
@@ -104,12 +112,17 @@ pub fn select_time(a: &Tensor, t: usize) -> Tensor {
     }
     Tensor::from_op(&[bs, d], data, vec![a.clone()], Box::new(move |ctx| {
         if ctx.parents[0].requires_grad() {
-            let mut g = vec![0.0f32; bs * m * d];
-            for b in 0..bs {
-                let off = (b * m + t) * d;
-                g[off..off + d].copy_from_slice(&ctx.out_grad[b * d..(b + 1) * d]);
-            }
-            ctx.parents[0].accumulate_grad(&g);
+            // Pooled scatter-add: touch only the `bs·d` selected elements of
+            // the `[B, m, d]` gradient instead of allocating and zeroing a
+            // full-size temporary per call (formerly the profiler's #1 cost).
+            ctx.parents[0].accumulate_grad_with(|g| {
+                for b in 0..bs {
+                    let off = (b * m + t) * d;
+                    for (gv, og) in g[off..off + d].iter_mut().zip(&ctx.out_grad[b * d..(b + 1) * d]) {
+                        *gv += og;
+                    }
+                }
+            });
         }
     }))
 }
@@ -138,12 +151,14 @@ pub fn stack_time(steps: &[Tensor]) -> Tensor {
             if !p.requires_grad() {
                 continue;
             }
-            let mut g = vec![0.0f32; bs * d];
-            for b in 0..bs {
-                let off = (b * m + t) * d;
-                g[b * d..(b + 1) * d].copy_from_slice(&ctx.out_grad[off..off + d]);
-            }
-            p.accumulate_grad(&g);
+            p.accumulate_grad_with(|g| {
+                for b in 0..bs {
+                    let off = (b * m + t) * d;
+                    for (gv, og) in g[b * d..(b + 1) * d].iter_mut().zip(&ctx.out_grad[off..off + d]) {
+                        *gv += og;
+                    }
+                }
+            });
         }
     }))
 }
@@ -172,14 +187,14 @@ pub fn gather_time(a: &Tensor, idx: &[usize]) -> Tensor {
     }
     Tensor::from_op(&[bs, d], data, vec![a.clone()], Box::new(move |ctx| {
         if ctx.parents[0].requires_grad() {
-            let mut g = vec![0.0f32; bs * m * d];
-            for (b, &t) in idx.iter().enumerate() {
-                let off = (b * m + t) * d;
-                for (gv, og) in g[off..off + d].iter_mut().zip(&ctx.out_grad[b * d..(b + 1) * d]) {
-                    *gv += og;
+            ctx.parents[0].accumulate_grad_with(|g| {
+                for (b, &t) in idx.iter().enumerate() {
+                    let off = (b * m + t) * d;
+                    for (gv, og) in g[off..off + d].iter_mut().zip(&ctx.out_grad[b * d..(b + 1) * d]) {
+                        *gv += og;
+                    }
                 }
-            }
-            ctx.parents[0].accumulate_grad(&g);
+            });
         }
     }))
 }
@@ -204,15 +219,17 @@ pub fn reverse_time(a: &Tensor) -> Tensor {
     }
     Tensor::from_op(&[bs, m, d], data, vec![a.clone()], Box::new(move |ctx| {
         if ctx.parents[0].requires_grad() {
-            let mut g = vec![0.0f32; bs * m * d];
-            for b in 0..bs {
-                for t in 0..m {
-                    let src = (b * m + (m - 1 - t)) * d;
-                    let dst = (b * m + t) * d;
-                    g[src..src + d].copy_from_slice(&ctx.out_grad[dst..dst + d]);
+            ctx.parents[0].accumulate_grad_with(|g| {
+                for b in 0..bs {
+                    for t in 0..m {
+                        let src = (b * m + (m - 1 - t)) * d;
+                        let dst = (b * m + t) * d;
+                        for (gv, og) in g[src..src + d].iter_mut().zip(&ctx.out_grad[dst..dst + d]) {
+                            *gv += og;
+                        }
+                    }
                 }
-            }
-            ctx.parents[0].accumulate_grad(&g);
+            });
         }
     }))
 }

@@ -49,15 +49,17 @@ pub fn softmax(a: &Tensor) -> Tensor {
     }
     Tensor::from_op(a.shape(), data, vec![a.clone()], Box::new(move |ctx| {
         if ctx.parents[0].requires_grad() {
-            let mut g = vec![0.0f32; ctx.out_grad.len()];
-            for r in 0..rows {
-                softmax_backward_row(
-                    &ctx.out_data[r * n..(r + 1) * n],
-                    &ctx.out_grad[r * n..(r + 1) * n],
-                    &mut g[r * n..(r + 1) * n],
-                );
-            }
-            ctx.parents[0].accumulate_grad(&g);
+            // softmax_backward_row accumulates, so rows land directly in the
+            // pooled gradient buffer.
+            ctx.parents[0].accumulate_grad_with(|g| {
+                for r in 0..rows {
+                    softmax_backward_row(
+                        &ctx.out_data[r * n..(r + 1) * n],
+                        &ctx.out_grad[r * n..(r + 1) * n],
+                        &mut g[r * n..(r + 1) * n],
+                    );
+                }
+            });
         }
     }))
 }
@@ -88,20 +90,20 @@ pub fn masked_softmax(scores: &Tensor, key_mask: &Tensor) -> Tensor {
     }
     Tensor::from_op(scores.shape(), data, vec![scores.clone()], Box::new(move |ctx| {
         if ctx.parents[0].requires_grad() {
-            let mut g = vec![0.0f32; ctx.out_grad.len()];
-            for b in 0..bs {
-                for i in 0..q {
-                    let off = (b * q + i) * k;
-                    // Masked entries have y = 0, so the standard Jacobian
-                    // already yields zero gradient there.
-                    softmax_backward_row(
-                        &ctx.out_data[off..off + k],
-                        &ctx.out_grad[off..off + k],
-                        &mut g[off..off + k],
-                    );
+            ctx.parents[0].accumulate_grad_with(|g| {
+                for b in 0..bs {
+                    for i in 0..q {
+                        let off = (b * q + i) * k;
+                        // Masked entries have y = 0, so the standard Jacobian
+                        // already yields zero gradient there.
+                        softmax_backward_row(
+                            &ctx.out_data[off..off + k],
+                            &ctx.out_grad[off..off + k],
+                            &mut g[off..off + k],
+                        );
+                    }
                 }
-            }
-            ctx.parents[0].accumulate_grad(&g);
+            });
         }
     }))
 }

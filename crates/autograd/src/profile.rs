@@ -15,6 +15,50 @@
 use std::cell::Cell;
 use tmn_obs::profiler;
 
+/// Every op name that may open an [`op_scope`], i.e. every primitive op with
+/// a registered FLOP estimator (0 is a valid estimate for pure data-movement
+/// ops). `profile --check` asserts that each forward/backward record in a
+/// snapshot carries one of these names, so an op added without updating this
+/// list fails CI instead of silently reporting bogus FLOP rates.
+/// Kept sorted for the membership `binary_search` in [`op_scope`]'s
+/// debug assertion.
+pub const INSTRUMENTED_OPS: &[&str] = &[
+    "add",
+    "add_bias",
+    "add_scalar",
+    "bmm_nn",
+    "bmm_nt",
+    "collect_states",
+    "concat_last",
+    "exp",
+    "gather_time",
+    "gru_cell_fused",
+    "leaky_relu",
+    "lstm_cell_fused",
+    "masked_softmax",
+    "matmul",
+    "mul",
+    "mul_mask_rows",
+    "mul_scalar_tensor",
+    "qerror",
+    "reshape",
+    "reverse_time",
+    "rnn_gate_preproject",
+    "scale",
+    "select_time",
+    "sigmoid",
+    "slice_last",
+    "slice_rows",
+    "softmax",
+    "sqrt_eps",
+    "stack_time",
+    "sub",
+    "sum_all",
+    "sum_last",
+    "tanh",
+    "tile_rows",
+];
+
 thread_local! {
     /// The op scope currently open on this thread, read by
     /// `Tensor::from_op` for backward attribution. Only ever `Some` while
@@ -39,6 +83,10 @@ impl Drop for OpScope {
 /// Returns `None` (cost: one atomic load) when profiling is disabled.
 #[inline]
 pub(crate) fn op_scope(name: &'static str, flops: u64) -> Option<OpScope> {
+    debug_assert!(
+        INSTRUMENTED_OPS.binary_search(&name).is_ok() || name.starts_with("prof."),
+        "op '{name}' opens a scope but is not listed in INSTRUMENTED_OPS"
+    );
     let inner = profiler::scope(name, flops)?;
     let prev = CURRENT_OP.with(|c| c.replace(Some((name, flops))));
     Some(OpScope { prev, _inner: inner })
@@ -69,6 +117,12 @@ mod tests {
         }
         assert_eq!(current_op(), None);
         profiler::set_enabled(false);
+    }
+
+    #[test]
+    fn instrumented_ops_sorted_and_unique() {
+        // binary_search in op_scope's debug assertion requires sorted order.
+        assert!(INSTRUMENTED_OPS.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -17,6 +17,17 @@ use std::rc::Rc;
 thread_local! {
     static NEXT_ID: Cell<u64> = const { Cell::new(0) };
     static GRAD_ENABLED: Cell<bool> = const { Cell::new(true) };
+    static GRAD_BUFFER_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// How many gradient accumulation buffers this thread has allocated.
+///
+/// Scatter-style backwards (`select_time`, `gather_time`, ...) write straight
+/// into the node's pooled buffer via [`Tensor::accumulate_grad_with`], so a
+/// node costs exactly one allocation no matter how many backward closures
+/// feed it. The counter exists for allocation-regression tests.
+pub fn grad_buffer_allocs() -> u64 {
+    GRAD_BUFFER_ALLOCS.with(|c| c.get())
 }
 
 fn fresh_id() -> u64 {
@@ -228,8 +239,28 @@ impl Tensor {
                     *a += gi;
                 }
             }
-            None => *slot = Some(g.to_vec()),
+            None => {
+                GRAD_BUFFER_ALLOCS.with(|c| c.set(c.get() + 1));
+                *slot = Some(g.to_vec());
+            }
         }
+    }
+
+    /// Accumulate into this node's gradient through direct writes.
+    ///
+    /// `f` receives the full-length accumulation buffer (zero-filled on first
+    /// use, otherwise holding already-accumulated gradient) and must *add*
+    /// its contribution in place. This is the pooled-buffer path for
+    /// scatter-style backwards: a `select_time` gradient touches `d` of
+    /// `B·m·d` elements, and writing those `d` elements straight into the
+    /// pool replaces allocating and zeroing a full-size temporary per call.
+    pub fn accumulate_grad_with(&self, f: impl FnOnce(&mut [f32])) {
+        let mut slot = self.inner.grad.borrow_mut();
+        let buf = slot.get_or_insert_with(|| {
+            GRAD_BUFFER_ALLOCS.with(|c| c.set(c.get() + 1));
+            vec![0.0f32; self.numel()]
+        });
+        f(buf);
     }
 
     /// A detached copy sharing no graph history (data is cloned).

@@ -1,0 +1,104 @@
+//! Allocation regression gate for the pooled gradient-buffer path.
+//!
+//! Before the time-major refactor, every `select_time`/`gather_time`
+//! backward materialized a zero-filled parent-sized temporary
+//! (`vec![0.0; B*m*d]`) just to scatter one step's gradient into it — for a
+//! T-step sequence that is T parent-sized allocations per backward. The
+//! pooled path (`Tensor::accumulate_grad_with`) creates the parent-sized
+//! buffer once and scatters into it in place.
+//!
+//! A counting `#[global_allocator]` observes what a plain counter cannot:
+//! the temporaries never crossed `accumulate_grad`, they died inside the
+//! backward closures. This test is its own binary, so the only large
+//! allocations during the measured span are the ones under test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Allocations of at least this many bytes are counted while armed.
+/// Parent tensors in the test are sized well above it; per-step tensors and
+/// graph bookkeeping stay well below.
+const LARGE: usize = 4096;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static LARGE_ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if layout.size() >= LARGE && ARMED.load(Ordering::Relaxed) {
+            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn count_large_during(f: impl FnOnce()) -> usize {
+    LARGE_ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    LARGE_ALLOCS.load(Ordering::SeqCst)
+}
+
+use tmn_autograd::{grad_buffer_allocs, ops, Tensor};
+
+#[test]
+fn select_time_backward_reuses_one_pooled_buffer() {
+    // Parent [4, 32, 64] = 32 KiB of f32; each of the 32 select_time outputs
+    // is [4, 64] = 1 KiB, under the LARGE threshold.
+    let (b, m, d) = (4usize, 32usize, 64usize);
+    let xs = Tensor::param((0..b * m * d).map(|i| (i as f32 * 0.01).sin()).collect(), &[b, m, d]);
+
+    // Build the graph outside the measured span: forward allocations
+    // (per-step outputs, sums) are not what this test regresses.
+    let mut acc = ops::select_time(&xs, 0);
+    for t in 1..m {
+        acc = ops::add(&acc, &ops::select_time(&xs, t));
+    }
+    let loss = ops::sum_all(&acc);
+
+    let pooled_before = grad_buffer_allocs();
+    let large = count_large_during(|| loss.backward());
+    let pooled = grad_buffer_allocs() - pooled_before;
+
+    // One parent-sized gradient buffer for xs; every scatter lands in it.
+    // Budget 3 leaves headroom for the topo-sort stack, nothing more —
+    // the pre-refactor path cost m parent-sized temporaries here.
+    assert!(large <= 3, "backward made {large} large allocations (expected <= 3, old path: {m})");
+    // Exactly one pooled buffer per graph node carrying a gradient:
+    // m selects + (m-1) adds + the loss + xs itself. Only the xs buffer is
+    // parent-sized; a regression to per-scatter temporaries shows up in
+    // `large`, a regression to redundant pool buffers shows up here.
+    assert_eq!(pooled, (2 * m + 1) as u64, "unexpected pooled grad-buffer count");
+}
+
+#[test]
+fn gather_time_backward_reuses_one_pooled_buffer() {
+    let (b, m, d) = (4usize, 32usize, 64usize);
+    let xs = Tensor::param((0..b * m * d).map(|i| (i as f32 * 0.02).cos()).collect(), &[b, m, d]);
+
+    // One gather per prefix level, like the sub-trajectory loss.
+    let mut acc = ops::gather_time(&xs, &[0, 0, 0, 0]);
+    for level in 1..m {
+        let idx = [level % m, (2 * level) % m, (3 * level) % m, (5 * level) % m];
+        acc = ops::add(&acc, &ops::gather_time(&xs, &idx));
+    }
+    let loss = ops::sum_all(&acc);
+
+    let pooled_before = grad_buffer_allocs();
+    let large = count_large_during(|| loss.backward());
+    let pooled = grad_buffer_allocs() - pooled_before;
+
+    assert!(large <= 3, "backward made {large} large allocations (expected <= 3, old path: {m})");
+    // m gathers + (m-1) adds + the loss + xs (see the select_time test).
+    assert_eq!(pooled, (2 * m + 1) as u64, "unexpected pooled grad-buffer count");
+}

@@ -121,6 +121,10 @@ pub fn phase(name: &'static str) -> Option<Scope> {
 }
 
 /// One aggregated registry row, serializable into `PROFILE_ops.json`.
+///
+/// `mean_ns` and `gflops` are derived from the raw counters at snapshot time
+/// and serialized alongside them so downstream consumers (the `profile` bin's
+/// table, dashboards reading the JSON) need no recomputation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OpRecord {
     pub name: String,
@@ -130,20 +134,30 @@ pub struct OpRecord {
     pub total_ns: u64,
     /// Estimated floating-point operations across all calls.
     pub flops: u64,
+    /// Mean wall time per call, in nanoseconds.
+    pub mean_ns: f64,
+    /// Estimated GFLOP/s over this record's accumulated time.
+    pub gflops: f64,
 }
 
 impl OpRecord {
-    pub fn total_s(&self) -> f64 {
-        self.total_ns as f64 / 1e9
+    fn new(name: String, kind: String, stat: Stat) -> OpRecord {
+        let mean_ns = if stat.calls == 0 { 0.0 } else { stat.total_ns as f64 / stat.calls as f64 };
+        let gflops =
+            if stat.total_ns == 0 { 0.0 } else { stat.flops as f64 / stat.total_ns as f64 };
+        OpRecord {
+            name,
+            kind,
+            calls: stat.calls,
+            total_ns: stat.total_ns,
+            flops: stat.flops,
+            mean_ns,
+            gflops,
+        }
     }
 
-    /// Estimated GFLOP/s over this record's accumulated time.
-    pub fn gflops(&self) -> f64 {
-        if self.total_ns == 0 {
-            0.0
-        } else {
-            self.flops as f64 / self.total_ns as f64
-        }
+    pub fn total_s(&self) -> f64 {
+        self.total_ns as f64 / 1e9
     }
 }
 
@@ -152,12 +166,8 @@ pub fn snapshot() -> Vec<OpRecord> {
     let reg = registry_lock();
     let mut rows: Vec<OpRecord> = reg
         .iter()
-        .map(|(&(name, kind), stat)| OpRecord {
-            name: name.to_string(),
-            kind: kind.as_str().to_string(),
-            calls: stat.calls,
-            total_ns: stat.total_ns,
-            flops: stat.flops,
+        .map(|(&(name, kind), stat)| {
+            OpRecord::new(name.to_string(), kind.as_str().to_string(), *stat)
         })
         .collect();
     rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then_with(|| a.name.cmp(&b.name)));
@@ -245,16 +255,15 @@ mod tests {
 
     #[test]
     fn op_record_serializes_and_parses() {
-        let rec = OpRecord {
-            name: "matmul".into(),
-            kind: "forward".into(),
-            calls: 12,
-            total_ns: 3456,
-            flops: 7890,
-        };
+        let rec = OpRecord::new(
+            "matmul".into(),
+            "forward".into(),
+            Stat { calls: 12, total_ns: 3456, flops: 7890 },
+        );
         let json = serde_json::to_string(&rec).unwrap();
         let back: OpRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, rec);
-        assert!(rec.gflops() > 0.0);
+        assert!(rec.gflops > 0.0);
+        assert!((rec.mean_ns - 3456.0 / 12.0).abs() < 1e-9);
     }
 }

@@ -13,6 +13,9 @@ cargo test -q --workspace
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== recurrent graph-node budget (<=3 nodes per step x direction) =="
+cargo run --release -p tmn-bench --bin profile -- --nodes
+
 echo "== profile smoke (observability artifacts) =="
 cargo run --release -p tmn-bench --bin profile -- --quick
 test -s results/PROFILE_ops.json
