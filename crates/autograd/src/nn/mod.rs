@@ -26,5 +26,5 @@ pub use init::{orthogonal, uniform_xavier, zeros_init};
 pub use linear::Linear;
 pub use lstm::Lstm;
 pub use mlp::Mlp;
-pub use params::ParamSet;
+pub use params::{ParamSet, RestoreError};
 pub use rnn::{Recurrent, RnnKind};

@@ -2,6 +2,40 @@
 
 use crate::Tensor;
 
+/// Why a [`ParamSet::try_restore`] rejected a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The snapshot has a different number of parameters.
+    CountMismatch { expected: usize, found: usize },
+    /// Names disagree at `index` (registration order is significant).
+    NameMismatch { index: usize, expected: String, found: String },
+    /// Shapes disagree for the named parameter.
+    ShapeMismatch { name: String, expected: Vec<usize>, found: Vec<usize> },
+    /// The data buffer length does not match the declared shape.
+    DataMismatch { name: String, expected: usize, found: usize },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::CountMismatch { expected, found } => {
+                write!(f, "snapshot has {found} parameters, model has {expected}")
+            }
+            RestoreError::NameMismatch { index, expected, found } => {
+                write!(f, "parameter {index}: snapshot has {found:?}, model has {expected:?}")
+            }
+            RestoreError::ShapeMismatch { name, expected, found } => {
+                write!(f, "{name}: snapshot shape {found:?}, model shape {expected:?}")
+            }
+            RestoreError::DataMismatch { name, expected, found } => {
+                write!(f, "{name}: snapshot has {found} scalars, shape needs {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 /// An ordered, named collection of trainable leaf tensors.
 ///
 /// Models register every parameter here; optimizers iterate it; snapshots
@@ -99,14 +133,70 @@ impl ParamSet {
             .collect()
     }
 
-    /// Load weights from a snapshot. Names and shapes must match exactly.
+    /// Load weights from a snapshot. Names and shapes must match exactly;
+    /// panics otherwise (use [`try_restore`](Self::try_restore) to recover
+    /// from untrusted snapshots, e.g. checkpoints from the wrong model).
     pub fn restore(&self, snap: &[(String, Vec<usize>, Vec<f32>)]) {
-        assert_eq!(snap.len(), self.params.len(), "snapshot size mismatch");
-        for ((name, t), (sn, ss, sd)) in self.params.iter().zip(snap) {
-            assert_eq!(name, sn, "snapshot parameter order/name mismatch");
-            assert_eq!(t.shape(), &ss[..], "snapshot shape mismatch for {name}");
+        if let Err(e) = self.try_restore(snap) {
+            panic!("snapshot mismatch: {e}");
+        }
+    }
+
+    /// Load weights from a snapshot, reporting mismatches as errors instead
+    /// of panicking. The whole snapshot is validated *before* any weight is
+    /// written, so a failed restore leaves the model untouched.
+    pub fn try_restore(&self, snap: &[(String, Vec<usize>, Vec<f32>)]) -> Result<(), RestoreError> {
+        if snap.len() != self.params.len() {
+            return Err(RestoreError::CountMismatch {
+                expected: self.params.len(),
+                found: snap.len(),
+            });
+        }
+        for (i, ((name, t), (sn, ss, sd))) in self.params.iter().zip(snap).enumerate() {
+            if name != sn {
+                return Err(RestoreError::NameMismatch {
+                    index: i,
+                    expected: name.clone(),
+                    found: sn.clone(),
+                });
+            }
+            if t.shape() != &ss[..] {
+                return Err(RestoreError::ShapeMismatch {
+                    name: name.clone(),
+                    expected: t.shape().to_vec(),
+                    found: ss.clone(),
+                });
+            }
+            if sd.len() != t.numel() {
+                return Err(RestoreError::DataMismatch {
+                    name: name.clone(),
+                    expected: t.numel(),
+                    found: sd.len(),
+                });
+            }
+        }
+        for ((_, t), (_, _, sd)) in self.params.iter().zip(snap) {
             t.data_mut().copy_from_slice(sd);
         }
+        Ok(())
+    }
+
+    /// 64-bit FNV-1a fingerprint over every parameter's name and exact bit
+    /// pattern, in registration order. Two models agree iff their weights
+    /// are bit-identical — the acceptance check for deterministic resume.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = 0xcbf29ce484222325u64;
+        for (name, t) in self.iter() {
+            for b in name.bytes() {
+                hash = (hash ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            for v in t.to_vec() {
+                for b in v.to_bits().to_le_bytes() {
+                    hash = (hash ^ b as u64).wrapping_mul(0x100000001b3);
+                }
+            }
+        }
+        hash
     }
 }
 
@@ -146,6 +236,38 @@ mod tests {
         w.data_mut()[0] = 99.0;
         ps.restore(&snap);
         assert_eq!(w.to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn try_restore_reports_mismatches_without_writing() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Tensor::param(vec![1.0, 2.0], &[2]));
+        // Wrong name.
+        let err = ps.try_restore(&[("q".into(), vec![2], vec![9.0, 9.0])]).unwrap_err();
+        assert!(matches!(err, RestoreError::NameMismatch { index: 0, .. }));
+        // Wrong shape.
+        let err = ps.try_restore(&[("w".into(), vec![1, 2], vec![9.0, 9.0])]).unwrap_err();
+        assert!(matches!(err, RestoreError::ShapeMismatch { .. }));
+        // Wrong count.
+        let err = ps.try_restore(&[]).unwrap_err();
+        assert_eq!(err, RestoreError::CountMismatch { expected: 1, found: 0 });
+        // Data length disagrees with shape.
+        let err = ps.try_restore(&[("w".into(), vec![2], vec![9.0])]).unwrap_err();
+        assert!(matches!(err, RestoreError::DataMismatch { .. }));
+        // No failed attempt wrote anything.
+        assert_eq!(w.to_vec(), vec![1.0, 2.0]);
+        ps.try_restore(&[("w".into(), vec![2], vec![7.0, 8.0])]).unwrap();
+        assert_eq!(w.to_vec(), vec![7.0, 8.0]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_bit_changes() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Tensor::param(vec![1.0, 2.0], &[2]));
+        let f1 = ps.fingerprint();
+        assert_eq!(f1, ps.fingerprint(), "fingerprint must be deterministic");
+        w.data_mut()[1] = 2.0000002;
+        assert_ne!(f1, ps.fingerprint(), "a one-ulp change must alter the fingerprint");
     }
 
     #[test]

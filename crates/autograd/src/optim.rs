@@ -45,6 +45,47 @@ impl Sgd {
     }
 }
 
+/// A portable snapshot of an [`Adam`] optimizer: hyperparameters, step
+/// count, and both moment buffers. Everything needed to continue training
+/// bit-identically after a checkpoint/restore cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    /// Steps taken so far (drives bias correction).
+    pub t: u64,
+    /// First-moment buffers, one per parameter in registration order.
+    pub m: Vec<Vec<f32>>,
+    /// Second-moment buffers, one per parameter in registration order.
+    pub v: Vec<Vec<f32>>,
+}
+
+/// Why an [`Adam::restore_state`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptimStateError {
+    /// The snapshot covers a different number of parameters.
+    BufferCount { expected: usize, found: usize },
+    /// One moment buffer has the wrong length (parameter shape changed).
+    BufferLen { index: usize, expected: usize, found: usize },
+}
+
+impl std::fmt::Display for OptimStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimStateError::BufferCount { expected, found } => {
+                write!(f, "optimizer state covers {found} parameters, model has {expected}")
+            }
+            OptimStateError::BufferLen { index, expected, found } => {
+                write!(f, "moment buffer {index} has {found} scalars, parameter has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimStateError {}
+
 /// Adam (Kingma & Ba), the optimizer the paper uses (Section V-A4).
 pub struct Adam {
     lr: f32,
@@ -74,6 +115,58 @@ impl Adam {
 
     pub fn lr(&self) -> f32 {
         self.lr
+    }
+
+    /// Copy out the full optimizer state (hyperparameters, step count, both
+    /// moment buffers) for checkpointing.
+    pub fn state_snapshot(&self) -> AdamState {
+        AdamState {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restore a state captured with [`Adam::state_snapshot`]. The buffer
+    /// layout must match the optimizer's parameters exactly; on mismatch the
+    /// optimizer is left untouched and an error is returned.
+    pub fn restore_state(&mut self, state: &AdamState) -> Result<(), OptimStateError> {
+        if state.m.len() != self.m.len() || state.v.len() != self.v.len() {
+            return Err(OptimStateError::BufferCount {
+                expected: self.m.len(),
+                found: state.m.len().max(state.v.len()),
+            });
+        }
+        for (i, (ours, theirs)) in self.m.iter().zip(&state.m).enumerate() {
+            if ours.len() != theirs.len() {
+                return Err(OptimStateError::BufferLen {
+                    index: i,
+                    expected: ours.len(),
+                    found: theirs.len(),
+                });
+            }
+        }
+        for (i, (ours, theirs)) in self.v.iter().zip(&state.v).enumerate() {
+            if ours.len() != theirs.len() {
+                return Err(OptimStateError::BufferLen {
+                    index: i,
+                    expected: ours.len(),
+                    found: theirs.len(),
+                });
+            }
+        }
+        self.lr = state.lr;
+        self.beta1 = state.beta1;
+        self.beta2 = state.beta2;
+        self.eps = state.eps;
+        self.t = state.t;
+        self.m.clone_from(&state.m);
+        self.v.clone_from(&state.v);
+        Ok(())
     }
 
     /// Apply one update; parameters without gradients are skipped.
@@ -160,6 +253,57 @@ mod tests {
         let before = ps.grad_norm();
         clip_grad_norm(&ps, 1e9);
         assert_eq!(ps.grad_norm(), before);
+    }
+
+    #[test]
+    fn adam_state_roundtrip_is_bit_identical() {
+        // Two optimizers: run A for 50 steps, snapshot, run A and a restored
+        // B for 50 more — weights must agree bit for bit.
+        let run = |resume_at: Option<u64>| -> Vec<u32> {
+            let (ps, x) = quadratic_setup();
+            let mut opt = Adam::new(&ps, 0.1);
+            let mut stash: Option<AdamState> = None;
+            for step in 0..100u64 {
+                if Some(step) == resume_at {
+                    // Swap in a freshly built optimizer restored from the
+                    // snapshot taken right now.
+                    let snap = opt.state_snapshot();
+                    let mut fresh = Adam::new(&ps, 99.0);
+                    fresh.restore_state(&snap).unwrap();
+                    opt = fresh;
+                    stash = Some(snap);
+                }
+                let loss = ops::sum_all(&ops::mul(&x, &x));
+                ps.zero_grad();
+                loss.backward();
+                opt.step(&ps);
+            }
+            if let Some(s) = stash {
+                assert_eq!(s.t, resume_at.unwrap());
+            }
+            x.to_vec().iter().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(run(None), run(Some(50)), "restored Adam diverged from uninterrupted run");
+    }
+
+    #[test]
+    fn adam_restore_rejects_mismatched_buffers() {
+        let (ps, _x) = quadratic_setup();
+        let mut opt = Adam::new(&ps, 0.1);
+        let mut bad = opt.state_snapshot();
+        bad.m.push(vec![0.0; 3]);
+        assert!(matches!(
+            opt.restore_state(&bad),
+            Err(OptimStateError::BufferCount { expected: 1, found: 2 })
+        ));
+        let mut bad_len = opt.state_snapshot();
+        bad_len.v[0] = vec![0.0; 7];
+        assert!(matches!(
+            opt.restore_state(&bad_len),
+            Err(OptimStateError::BufferLen { index: 0, expected: 2, found: 7 })
+        ));
+        // A failed restore leaves the optimizer usable.
+        assert_eq!(opt.state_snapshot().t, 0);
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn bench_training(ds: &Dataset, dmat: &DistanceMatrix, dim: usize, threads: usiz
         Metric::Dtw,
         MetricParams::default(),
         Box::new(RankSampler),
-        cfg,
+        cfg.clone(),
         None,
     )
     .with_replicas(ModelKind::Tmn, mcfg);

@@ -195,7 +195,7 @@ impl Ctx {
             spec.metric,
             params,
             sampler,
-            spec.train,
+            spec.train.clone(),
             None,
         )
         .with_replicas(spec.model, ModelConfig { dim: spec.dim, seed: spec.seed });

@@ -1,0 +1,223 @@
+//! Durable checkpoint files: atomic writes and a rotating `latest`/`prev`
+//! pair with CRC-validated recovery.
+//!
+//! Write protocol (crash-safe at every step):
+//!
+//! 1. serialize into `ckpt.tmp` in the store directory
+//! 2. `fsync` the temp file (data durable before any rename)
+//! 3. rename `latest.tmnckpt` → `prev.tmnckpt` (keeps the last good file)
+//! 4. rename `ckpt.tmp` → `latest.tmnckpt` (atomic on POSIX)
+//! 5. `fsync` the directory (best-effort; makes the renames durable)
+//!
+//! A crash between 3 and 4 leaves no `latest` but a good `prev`; a torn
+//! write of the temp file never touches either name. [`CheckpointStore::load`]
+//! tries `latest` first and silently falls back to `prev` whenever `latest`
+//! is missing, truncated, or fails its CRC — so one corrupted file costs at
+//! most `checkpoint_every` steps of progress, never the whole run.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use super::{decode_checkpoint, CheckpointError, TrainCheckpoint};
+
+const LATEST: &str = "latest.tmnckpt";
+const PREV: &str = "prev.tmnckpt";
+const TMP: &str = "ckpt.tmp";
+
+/// Which slot a checkpoint was recovered from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadedFrom {
+    Latest,
+    /// `latest` was missing or corrupt; the previous checkpoint was used.
+    Prev,
+}
+
+/// A directory holding the rotating `latest`/`prev` checkpoint pair.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+fn io_err(context: &str, path: &Path, e: std::io::Error) -> CheckpointError {
+    CheckpointError::Io(format!("{context} {}: {e}", path.display()))
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a checkpoint directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<CheckpointStore, CheckpointError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err("create", &dir, e))?;
+        Ok(CheckpointStore { dir })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn latest_path(&self) -> PathBuf {
+        self.dir.join(LATEST)
+    }
+
+    pub fn prev_path(&self) -> PathBuf {
+        self.dir.join(PREV)
+    }
+
+    /// Durably write a serialized checkpoint, rotating the previous `latest`
+    /// into the `prev` slot. Returns the path of the new `latest`.
+    pub fn save(&self, bytes: &[u8]) -> Result<PathBuf, CheckpointError> {
+        let tmp = self.dir.join(TMP);
+        let latest = self.latest_path();
+        let prev = self.prev_path();
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)
+                .map_err(|e| io_err("open", &tmp, e))?;
+            f.write_all(bytes).map_err(|e| io_err("write", &tmp, e))?;
+            f.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
+        }
+        if latest.exists() {
+            fs::rename(&latest, &prev).map_err(|e| io_err("rotate", &latest, e))?;
+        }
+        fs::rename(&tmp, &latest).map_err(|e| io_err("publish", &tmp, e))?;
+        // Make the renames themselves durable. Directory fsync is not
+        // supported everywhere, so failures here are non-fatal.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(latest)
+    }
+
+    /// Load and decode the newest valid checkpoint: `latest` if it parses
+    /// and passes its CRCs, else `prev`. Errors only when neither slot holds
+    /// a valid checkpoint.
+    pub fn load(&self) -> Result<(TrainCheckpoint, LoadedFrom), CheckpointError> {
+        let latest_result = self.load_slot(&self.latest_path());
+        match latest_result {
+            Ok(ckpt) => Ok((ckpt, LoadedFrom::Latest)),
+            Err(latest_err) => match self.load_slot(&self.prev_path()) {
+                Ok(ckpt) => Ok((ckpt, LoadedFrom::Prev)),
+                // The `latest` failure is the interesting diagnostic when
+                // there is no `prev` at all.
+                Err(CheckpointError::Io(_)) => Err(latest_err),
+                Err(prev_err) => Err(prev_err),
+            },
+        }
+    }
+
+    fn load_slot(&self, path: &Path) -> Result<TrainCheckpoint, CheckpointError> {
+        let mut bytes = Vec::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| io_err("read", path, e))?;
+        decode_checkpoint(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::save_checkpoint;
+    use crate::config::ModelConfig;
+    use crate::models::ModelKind;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir()
+                .join(format!("tmn_store_{tag}_{}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn checkpoint_bytes(seed: u64) -> Vec<u8> {
+        let model = ModelKind::Srn.build(&ModelConfig { dim: 8, seed });
+        save_checkpoint(model.params(), None, None).to_vec()
+    }
+
+    #[test]
+    fn save_rotates_latest_into_prev() {
+        let tmp = TempDir::new("rotate");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        let first = checkpoint_bytes(1);
+        let second = checkpoint_bytes(2);
+        store.save(&first).unwrap();
+        assert!(store.latest_path().exists());
+        assert!(!store.prev_path().exists());
+        store.save(&second).unwrap();
+        assert_eq!(fs::read(store.latest_path()).unwrap(), second);
+        assert_eq!(fs::read(store.prev_path()).unwrap(), first);
+        let (_, from) = store.load().unwrap();
+        assert_eq!(from, LoadedFrom::Latest);
+    }
+
+    #[test]
+    fn corrupt_latest_recovers_from_prev() {
+        let tmp = TempDir::new("recover");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        store.save(&checkpoint_bytes(1)).unwrap();
+        store.save(&checkpoint_bytes(2)).unwrap();
+        // Flip a bit in the weights region of `latest`.
+        let mut bad = fs::read(store.latest_path()).unwrap();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        fs::write(store.latest_path(), &bad).unwrap();
+        let (ckpt, from) = store.load().unwrap();
+        assert_eq!(from, LoadedFrom::Prev);
+        let expected = decode_checkpoint(&checkpoint_bytes(1)).unwrap();
+        assert_eq!(ckpt, expected);
+    }
+
+    #[test]
+    fn truncated_latest_recovers_from_prev() {
+        let tmp = TempDir::new("truncated");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        store.save(&checkpoint_bytes(1)).unwrap();
+        store.save(&checkpoint_bytes(2)).unwrap();
+        let good = fs::read(store.latest_path()).unwrap();
+        fs::write(store.latest_path(), &good[..good.len() / 3]).unwrap();
+        let (_, from) = store.load().unwrap();
+        assert_eq!(from, LoadedFrom::Prev);
+    }
+
+    #[test]
+    fn missing_latest_falls_back_to_prev() {
+        // Simulates a crash between the two renames: `latest` gone, `prev` good.
+        let tmp = TempDir::new("missing");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        store.save(&checkpoint_bytes(1)).unwrap();
+        store.save(&checkpoint_bytes(2)).unwrap();
+        fs::remove_file(store.latest_path()).unwrap();
+        let (_, from) = store.load().unwrap();
+        assert_eq!(from, LoadedFrom::Prev);
+    }
+
+    #[test]
+    fn both_slots_bad_is_an_error() {
+        let tmp = TempDir::new("allbad");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        assert!(matches!(store.load(), Err(CheckpointError::Io(_))));
+        store.save(&checkpoint_bytes(1)).unwrap();
+        fs::write(store.latest_path(), b"garbage").unwrap();
+        assert!(store.load().is_err());
+    }
+
+    #[test]
+    fn save_is_atomic_no_tmp_left_behind() {
+        let tmp = TempDir::new("atomic");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        store.save(&checkpoint_bytes(1)).unwrap();
+        assert!(!store.dir().join("ckpt.tmp").exists());
+    }
+}

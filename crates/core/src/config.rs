@@ -41,7 +41,7 @@ impl ModelConfig {
 }
 
 /// Training-loop hyperparameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainConfig {
     pub epochs: usize,
     /// Learning rate (paper: 5e-3 under DTW on Porto).
@@ -67,6 +67,12 @@ pub struct TrainConfig {
     /// Takes effect when the trainer has a replica spec
     /// (`Trainer::with_replicas`) and the model supports it.
     pub threads: usize,
+    /// Save a checkpoint every N gradient steps (0 disables periodic
+    /// saves). Requires `checkpoint_dir`.
+    pub checkpoint_every: usize,
+    /// Directory for the rotating `latest`/`prev` checkpoint pair. `None`
+    /// disables durability (no saves, no rollback-on-divergence).
+    pub checkpoint_dir: Option<String>,
 }
 
 impl Default for TrainConfig {
@@ -82,6 +88,8 @@ impl Default for TrainConfig {
             clip: 5.0,
             seed: 7,
             threads: 1,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
         }
     }
 }

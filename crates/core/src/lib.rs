@@ -24,7 +24,11 @@ pub mod models;
 pub mod trainer;
 
 pub use batch::{grid_id, grid_neighbourhood, PairBatch, SideBatch, GRID_RESOLUTION};
-pub use checkpoint::{load_params, save_params, CheckpointError};
+pub use checkpoint::store::{CheckpointStore, LoadedFrom};
+pub use checkpoint::{
+    decode_checkpoint, load_params, save_checkpoint, save_params, CheckpointError,
+    TrainCheckpoint, TrainerState,
+};
 pub use config::{LossKind, ModelConfig, TrainConfig};
 pub use loss::{pair_loss, PairTargets};
 pub use models::{EncodedBatch, ModelKind, NeuTraj, PairModel, Srn, T3s, Tmn};

@@ -2,6 +2,8 @@
 //! pair loss with Adam (Section IV-C/D, parameter settings of Section V-A4).
 
 use crate::batch::PairBatch;
+use crate::checkpoint::store::{CheckpointStore, LoadedFrom};
+use crate::checkpoint::{decode_checkpoint, save_checkpoint, CheckpointError, TrainerState};
 use crate::config::{ModelConfig, TrainConfig};
 use crate::loss::{pair_loss, PairTargets};
 use crate::models::{ModelKind, PairModel};
@@ -9,12 +11,17 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::path::Path;
 use std::time::Instant;
 use tmn_data::Sampler;
 use tmn_traj::metrics::{prefix_distances, Metric, MetricParams};
 use tmn_traj::{DistanceMatrix, SimilarityMatrix, Trajectory};
-use tmn_autograd::optim::{clip_grad_norm, train_step, Adam};
-use tmn_obs::{profiler, BatchTelemetry, EpochTelemetry, TelemetrySink};
+use tmn_autograd::optim::{clip_grad_norm, Adam};
+use tmn_obs::{profiler, BatchTelemetry, EpochTelemetry, EventTelemetry, TelemetrySink};
+
+/// Consecutive non-finite batches tolerated before the trainer intervenes
+/// (rollback to the last checkpoint, or a learning-rate halving).
+const BAD_BATCH_LIMIT: usize = 3;
 
 /// One pair's master-computed targets: (similarity, rank weight, prefix
 /// sub-targets) — everything a data-parallel worker needs besides the
@@ -29,6 +36,10 @@ struct StepInfo {
     grad_norm: f32,
     /// Data-parallel workers actually used (1 = serial path).
     workers: usize,
+    /// Whether the optimizer step was applied. `false` means the batch loss
+    /// or gradient norm was non-finite and the update was skipped, leaving
+    /// weights and optimizer state untouched.
+    applied: bool,
 }
 
 /// Per-epoch training statistics.
@@ -87,6 +98,22 @@ pub struct Trainer<'a> {
     /// Optional JSONL stream of per-batch/per-epoch records. Telemetry reads
     /// only already-computed scalars, so it never perturbs training.
     telemetry: Option<TelemetrySink>,
+    /// Rotating `latest`/`prev` checkpoint pair (from `config.checkpoint_dir`).
+    store: Option<CheckpointStore>,
+    /// Global gradient steps applied so far (all epochs, survives resume).
+    steps: u64,
+    /// Stop training once `steps` reaches this bound (kill-and-resume tests).
+    step_limit: Option<u64>,
+    /// First epoch to run (nonzero after [`Trainer::resume`]).
+    start_epoch: usize,
+    /// Mid-epoch cursor from a resumed checkpoint, consumed by the first
+    /// epoch instead of a fresh shuffle.
+    pending: Option<TrainerState>,
+    /// Consecutive batches whose update was skipped as non-finite.
+    bad_streak: usize,
+    /// At least one good step happened since the last rollback — guards
+    /// against rollback loops when the checkpoint itself replays badly.
+    rollback_armed: bool,
 }
 
 impl<'a> Trainer<'a> {
@@ -107,6 +134,10 @@ impl<'a> Trainer<'a> {
         let smat = dmat.to_similarity(alpha.unwrap_or_else(|| metric.default_alpha()));
         let optimizer = Adam::new(model.params(), config.lr);
         let rng = StdRng::seed_from_u64(config.seed);
+        let store = config
+            .checkpoint_dir
+            .as_ref()
+            .map(|dir| CheckpointStore::open(dir).expect("checkpoint_dir must be creatable"));
         Trainer {
             model,
             train,
@@ -121,6 +152,13 @@ impl<'a> Trainer<'a> {
             sub_cache: HashMap::new(),
             replica_spec: None,
             telemetry: None,
+            store,
+            steps: 0,
+            step_limit: None,
+            start_epoch: 0,
+            pending: None,
+            bad_streak: 0,
+            rollback_armed: false,
         }
     }
 
@@ -138,6 +176,247 @@ impl<'a> Trainer<'a> {
     pub fn with_telemetry(mut self, sink: TelemetrySink) -> Trainer<'a> {
         self.telemetry = Some(sink);
         self
+    }
+
+    /// Stop training (without saving) once this many gradient steps have
+    /// been applied across the whole run. Simulates a kill at an arbitrary
+    /// point for the resume tests and the CI smoke.
+    pub fn with_step_limit(mut self, limit: u64) -> Trainer<'a> {
+        self.step_limit = Some(limit);
+        self
+    }
+
+    /// Gradient steps applied so far (all epochs, survives resume).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Resume from the newest valid checkpoint in `config.checkpoint_dir`
+    /// (`latest`, falling back to `prev` when `latest` is corrupt).
+    ///
+    /// After a successful resume the next [`Trainer::train`] /
+    /// [`Trainer::train_with`] call continues from the saved epoch and batch
+    /// cursor with restored weights, Adam moments, and sampler RNG — the
+    /// continuation is bit-identical to the uninterrupted run. The
+    /// checkpoint's learning rate (which may have been decayed or halved)
+    /// overrides `config.lr`.
+    pub fn resume_latest(&mut self) -> Result<LoadedFrom, CheckpointError> {
+        let store = self
+            .store
+            .as_ref()
+            .ok_or_else(|| CheckpointError::Io("no checkpoint_dir configured".to_string()))?;
+        let (ckpt, from) = store.load()?;
+        self.apply_checkpoint(ckpt.params, ckpt.optimizer, ckpt.trainer)?;
+        self.emit_event("resumed", self.start_epoch, format!("{from:?}"));
+        Ok(from)
+    }
+
+    /// Resume from an explicit checkpoint file (see [`Trainer::resume_latest`]
+    /// for semantics).
+    pub fn resume(&mut self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| CheckpointError::Io(format!("read {}: {e}", path.display())))?;
+        let ckpt = decode_checkpoint(&bytes)?;
+        self.apply_checkpoint(ckpt.params, ckpt.optimizer, ckpt.trainer)?;
+        self.emit_event("resumed", self.start_epoch, path.display().to_string());
+        Ok(())
+    }
+
+    /// Validate a decoded checkpoint against this trainer and apply it.
+    fn apply_checkpoint(
+        &mut self,
+        params: Vec<(String, Vec<usize>, Vec<f32>)>,
+        optimizer: Option<tmn_autograd::optim::AdamState>,
+        trainer: Option<TrainerState>,
+    ) -> Result<(), CheckpointError> {
+        let state =
+            trainer.ok_or(CheckpointError::Corrupt("checkpoint has no trainer state"))?;
+        let opt_state =
+            optimizer.ok_or(CheckpointError::Corrupt("checkpoint has no optimizer state"))?;
+        // The sampling recipe must be unchanged, or the replayed epoch
+        // diverges from the original run.
+        let mismatch = |name: &str, expected: String, found: String| CheckpointError::Mismatch {
+            name: name.to_string(),
+            expected,
+            found,
+        };
+        let cfg = &self.config;
+        if state.seed != cfg.seed {
+            return Err(mismatch("seed", cfg.seed.to_string(), state.seed.to_string()));
+        }
+        if state.batch_pairs as usize != cfg.batch_pairs {
+            return Err(mismatch(
+                "batch_pairs",
+                cfg.batch_pairs.to_string(),
+                state.batch_pairs.to_string(),
+            ));
+        }
+        if state.sampling_number as usize != cfg.sampling_number {
+            return Err(mismatch(
+                "sampling_number",
+                cfg.sampling_number.to_string(),
+                state.sampling_number.to_string(),
+            ));
+        }
+        if state.sub_stride as usize != cfg.sub_stride {
+            return Err(mismatch(
+                "sub_stride",
+                cfg.sub_stride.to_string(),
+                state.sub_stride.to_string(),
+            ));
+        }
+        if state.use_sub_loss != cfg.use_sub_loss {
+            return Err(mismatch(
+                "use_sub_loss",
+                cfg.use_sub_loss.to_string(),
+                state.use_sub_loss.to_string(),
+            ));
+        }
+        if state.loss != cfg.loss {
+            return Err(mismatch("loss", format!("{:?}", cfg.loss), format!("{:?}", state.loss)));
+        }
+        if state.epoch as usize >= cfg.epochs {
+            return Err(mismatch(
+                "epoch",
+                format!("< {}", cfg.epochs),
+                state.epoch.to_string(),
+            ));
+        }
+        let n = self.train.len();
+        let indices_ok = state.order.len() == n
+            && state.next_anchor as usize <= n
+            && state.order.iter().all(|&a| (a as usize) < n)
+            && state.buffer.iter().all(|&(a, s, _)| (a as usize) < n && (s as usize) < n);
+        if !indices_ok {
+            return Err(mismatch(
+                "training set",
+                format!("{n} trajectories"),
+                "checkpoint cursor indexes outside it".to_string(),
+            ));
+        }
+        self.model.params().try_restore(&params)?;
+        self.optimizer
+            .restore_state(&opt_state)
+            .map_err(|e| mismatch("optimizer state", "matching buffers".to_string(), e.to_string()))?;
+        self.rng = StdRng::from_state(state.rng);
+        self.steps = state.steps;
+        self.start_epoch = state.epoch as usize;
+        self.pending = Some(state);
+        self.bad_streak = 0;
+        self.rollback_armed = false;
+        Ok(())
+    }
+
+    fn emit_event(&mut self, event: &str, epoch: usize, detail: String) {
+        let (step, lr) = (self.steps, self.optimizer.lr());
+        if let Some(sink) = self.telemetry.as_mut() {
+            sink.emit(&EventTelemetry {
+                record: EventTelemetry::RECORD.to_string(),
+                event: event.to_string(),
+                epoch,
+                step,
+                lr,
+                detail,
+            });
+        }
+    }
+
+    /// Save a checkpoint if a periodic save is due at the current step.
+    /// Called only after an applied (finite) step, so a checkpoint never
+    /// captures diverged weights.
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_checkpoint(
+        &mut self,
+        epoch: usize,
+        order: &[usize],
+        next_anchor: usize,
+        buffer: &[(usize, usize, f32)],
+        batches: usize,
+        total_loss: f64,
+        total_pairs: usize,
+    ) {
+        if self.config.checkpoint_every == 0 || self.store.is_none() {
+            return;
+        }
+        if !self.steps.is_multiple_of(self.config.checkpoint_every as u64) {
+            return;
+        }
+        let state = TrainerState {
+            epoch: epoch as u64,
+            steps: self.steps,
+            batches: batches as u64,
+            next_anchor: next_anchor as u64,
+            total_pairs: total_pairs as u64,
+            total_loss,
+            rng: self.rng.state(),
+            seed: self.config.seed,
+            batch_pairs: self.config.batch_pairs as u32,
+            sampling_number: self.config.sampling_number as u32,
+            sub_stride: self.config.sub_stride as u32,
+            use_sub_loss: self.config.use_sub_loss,
+            loss: self.config.loss,
+            order: order.iter().map(|&a| a as u32).collect(),
+            buffer: buffer.iter().map(|&(a, s, w)| (a as u32, s as u32, w)).collect(),
+        };
+        let bytes = save_checkpoint(
+            self.model.params(),
+            Some(&self.optimizer.state_snapshot()),
+            Some(&state),
+        );
+        let _prof = profiler::phase("trainer.checkpoint_save");
+        let result = self.store.as_ref().expect("store checked above").save(&bytes);
+        match result {
+            Ok(path) => self.emit_event("checkpoint_saved", epoch, path.display().to_string()),
+            Err(e) => self.emit_event("checkpoint_error", epoch, e.to_string()),
+        }
+    }
+
+    /// React to a skipped (non-finite) batch: after [`BAD_BATCH_LIMIT`]
+    /// consecutive skips, roll weights and optimizer back to the last good
+    /// checkpoint with a halved learning rate — or just halve the rate when
+    /// no checkpoint is available (or the last rollback didn't help).
+    fn handle_nonfinite(&mut self, epoch: usize, info: &StepInfo) {
+        self.bad_streak += 1;
+        self.emit_event(
+            "nonfinite_skip",
+            epoch,
+            format!(
+                "loss={} grad_norm={} streak={}",
+                info.loss_sum, info.grad_norm, self.bad_streak
+            ),
+        );
+        if self.bad_streak < BAD_BATCH_LIMIT {
+            return;
+        }
+        self.bad_streak = 0;
+        if self.rollback_armed && self.try_rollback(epoch) {
+            return;
+        }
+        let lr = self.optimizer.lr() * 0.5;
+        self.optimizer.set_lr(lr);
+        self.emit_event("lr_halved", epoch, format!("lr={lr}"));
+    }
+
+    /// Restore weights + optimizer from the newest valid checkpoint and
+    /// halve the learning rate. The data cursor keeps moving forward — only
+    /// model state rolls back. Returns false when no usable checkpoint
+    /// exists.
+    fn try_rollback(&mut self, epoch: usize) -> bool {
+        let Some(store) = self.store.as_ref() else { return false };
+        let Ok((ckpt, from)) = store.load() else { return false };
+        if self.model.params().try_restore(&ckpt.params).is_err() {
+            return false;
+        }
+        let Some(opt_state) = ckpt.optimizer.as_ref() else { return false };
+        if self.optimizer.restore_state(opt_state).is_err() {
+            return false;
+        }
+        let lr = self.optimizer.lr() * 0.5;
+        self.optimizer.set_lr(lr);
+        self.rollback_armed = false;
+        self.emit_event("rollback", epoch, format!("from={from:?} lr={lr}"));
+        true
     }
 
     /// The similarity transform in use (needed to interpret predictions).
@@ -199,10 +478,20 @@ impl<'a> Trainer<'a> {
         };
         let encoded = self.model.encode_pairs(&batch);
         let loss = pair_loss(&encoded, &batch, &targets, self.config.loss);
-        let (loss_val, norm) =
-            train_step(self.model.params(), &mut self.optimizer, &loss, self.config.clip);
-        self.model.post_step(&batch, &encoded);
-        StepInfo { loss_sum: loss_val, grad_norm: norm, workers: 1 }
+        // Same op sequence as `optim::train_step`, with a finiteness gate
+        // before the optimizer touches anything: a NaN/inf batch must not
+        // poison the Adam moments or the weights.
+        let params = self.model.params();
+        params.zero_grad();
+        loss.backward();
+        let norm = clip_grad_norm(params, self.config.clip);
+        let loss_val = loss.item();
+        let applied = loss_val.is_finite() && norm.is_finite();
+        if applied {
+            self.optimizer.step(params);
+            self.model.post_step(&batch, &encoded);
+        }
+        StepInfo { loss_sum: loss_val, grad_norm: norm, workers: 1, applied }
     }
 
     /// Synchronous data-parallel gradient step.
@@ -296,66 +585,167 @@ impl<'a> Trainer<'a> {
             }
         }
         let norm = clip_grad_norm(params, self.config.clip);
-        self.optimizer.step(params);
-        StepInfo { loss_sum: total_loss, grad_norm: norm, workers }
+        let applied = total_loss.is_finite() && norm.is_finite();
+        if applied {
+            self.optimizer.step(params);
+        }
+        StepInfo { loss_sum: total_loss, grad_norm: norm, workers, applied }
     }
 
-    /// One gradient step plus its telemetry record. Returns the batch's
-    /// summed loss.
-    fn run_batch(&mut self, epoch: usize, batch: usize, chunk: &[(usize, usize, f32)]) -> f32 {
+    /// One gradient step plus its telemetry record.
+    fn run_batch(&mut self, epoch: usize, batch: usize, chunk: &[(usize, usize, f32)]) -> StepInfo {
         let start = Instant::now();
         let info = self.step(chunk);
         let lr = self.optimizer.lr();
-        if let Some(sink) = self.telemetry.as_mut() {
-            let max_len = chunk
-                .iter()
-                .map(|&(a, s, _)| self.train[a].len().max(self.train[s].len()))
-                .max()
-                .unwrap_or(0);
-            sink.emit(&BatchTelemetry {
-                record: BatchTelemetry::RECORD.to_string(),
-                epoch,
-                batch,
-                pairs: chunk.len(),
-                max_len,
-                workers: info.workers,
-                loss: info.loss_sum / chunk.len().max(1) as f32,
-                grad_norm: info.grad_norm,
-                lr,
-                wall_ms: start.elapsed().as_secs_f64() * 1e3,
-            });
+        // Skipped (non-finite) batches get an event record instead: NaN is
+        // not representable in JSON numbers.
+        if info.applied {
+            if let Some(sink) = self.telemetry.as_mut() {
+                let max_len = chunk
+                    .iter()
+                    .map(|&(a, s, _)| self.train[a].len().max(self.train[s].len()))
+                    .max()
+                    .unwrap_or(0);
+                sink.emit(&BatchTelemetry {
+                    record: BatchTelemetry::RECORD.to_string(),
+                    epoch,
+                    batch,
+                    pairs: chunk.len(),
+                    max_len,
+                    workers: info.workers,
+                    loss: info.loss_sum / chunk.len().max(1) as f32,
+                    grad_norm: info.grad_norm,
+                    lr,
+                    wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                });
+            }
         }
-        info.loss_sum
+        info
+    }
+
+    /// Handle one drained batch inside the epoch loop: step, account, maybe
+    /// checkpoint (good steps only), maybe intervene (bad steps only).
+    /// Returns `true` when the configured step limit was reached.
+    #[allow(clippy::too_many_arguments)]
+    fn process_batch(
+        &mut self,
+        epoch: usize,
+        chunk: &[(usize, usize, f32)],
+        order: &[usize],
+        next_anchor: usize,
+        buffer: &[(usize, usize, f32)],
+        batches: &mut usize,
+        total_loss: &mut f64,
+        total_pairs: &mut usize,
+    ) -> bool {
+        let info = self.run_batch(epoch, *batches, chunk);
+        *batches += 1;
+        if info.applied {
+            self.steps += 1;
+            self.bad_streak = 0;
+            self.rollback_armed = true;
+            *total_loss += info.loss_sum as f64;
+            *total_pairs += chunk.len();
+            self.maybe_checkpoint(
+                epoch,
+                order,
+                next_anchor,
+                buffer,
+                *batches,
+                *total_loss,
+                *total_pairs,
+            );
+        } else {
+            self.handle_nonfinite(epoch, &info);
+        }
+        self.step_limit.is_some_and(|limit| self.steps >= limit)
     }
 
     /// Run one epoch: every training trajectory serves as anchor once.
     pub fn train_epoch(&mut self, epoch: usize) -> EpochStats {
+        self.train_epoch_inner(epoch).0
+    }
+
+    /// The epoch loop, restructured around an explicit cursor
+    /// (`order`/`next_anchor`/`buffer`) so a mid-epoch checkpoint captures
+    /// the exact loop state and a resume replays the identical sample and
+    /// batch sequence. Returns `(stats, completed)`; `completed == false`
+    /// means the step limit halted the epoch early.
+    fn train_epoch_inner(&mut self, epoch: usize) -> (EpochStats, bool) {
         let start = Instant::now();
         let k = self.config.k();
-        let mut order: Vec<usize> = (0..self.train.len()).collect();
-        order.shuffle(&mut self.rng);
-        let mut buffer: Vec<(usize, usize, f32)> = Vec::with_capacity(self.config.batch_pairs * 2);
-        let mut total_loss = 0.0f64;
-        let mut total_pairs = 0usize;
-        let mut batches = 0usize;
-        for &anchor in &order {
-            let samples = {
-                let _prof = profiler::phase("trainer.sampling");
-                self.sampler.sample(anchor, k, self.dmat, &mut self.rng)
-            };
-            buffer.extend(samples.pairs());
-            while buffer.len() >= self.config.batch_pairs {
-                let chunk: Vec<_> = buffer.drain(..self.config.batch_pairs).collect();
-                total_loss += self.run_batch(epoch, batches, &chunk) as f64;
-                total_pairs += chunk.len();
-                batches += 1;
-            }
+        let batch_pairs = self.config.batch_pairs;
+        let mut order: Vec<usize>;
+        let mut next_anchor: usize;
+        let mut buffer: Vec<(usize, usize, f32)>;
+        let mut batches: usize;
+        let mut total_loss: f64;
+        let mut total_pairs: usize;
+        if let Some(state) = self.pending.take() {
+            debug_assert_eq!(state.epoch as usize, epoch, "cursor applied to wrong epoch");
+            order = state.order.iter().map(|&a| a as usize).collect();
+            next_anchor = state.next_anchor as usize;
+            buffer = state.buffer.iter().map(|&(a, s, w)| (a as usize, s as usize, w)).collect();
+            batches = state.batches as usize;
+            total_loss = state.total_loss;
+            total_pairs = state.total_pairs as usize;
+            self.rng = StdRng::from_state(state.rng);
+        } else {
+            order = (0..self.train.len()).collect();
+            order.shuffle(&mut self.rng);
+            next_anchor = 0;
+            buffer = Vec::with_capacity(batch_pairs * 2);
+            batches = 0;
+            total_loss = 0.0;
+            total_pairs = 0;
         }
-        if !buffer.is_empty() {
-            let chunk: Vec<_> = std::mem::take(&mut buffer);
-            total_loss += self.run_batch(epoch, batches, &chunk) as f64;
-            total_pairs += chunk.len();
-            batches += 1;
+        let mut halted = false;
+        // Identical sample/step sequence to the classic
+        // for-each-anchor-then-drain loop, expressed so the loop state lives
+        // in plain variables at every batch boundary.
+        'epoch: loop {
+            while buffer.len() >= batch_pairs {
+                let chunk: Vec<_> = buffer.drain(..batch_pairs).collect();
+                if self.process_batch(
+                    epoch,
+                    &chunk,
+                    &order,
+                    next_anchor,
+                    &buffer,
+                    &mut batches,
+                    &mut total_loss,
+                    &mut total_pairs,
+                ) {
+                    halted = true;
+                    break 'epoch;
+                }
+            }
+            if next_anchor < order.len() {
+                let anchor = order[next_anchor];
+                next_anchor += 1;
+                let samples = {
+                    let _prof = profiler::phase("trainer.sampling");
+                    self.sampler.sample(anchor, k, self.dmat, &mut self.rng)
+                };
+                buffer.extend(samples.pairs());
+                continue;
+            }
+            if !buffer.is_empty() {
+                let chunk: Vec<_> = std::mem::take(&mut buffer);
+                if self.process_batch(
+                    epoch,
+                    &chunk,
+                    &order,
+                    next_anchor,
+                    &buffer,
+                    &mut batches,
+                    &mut total_loss,
+                    &mut total_pairs,
+                ) {
+                    halted = true;
+                }
+            }
+            break;
         }
         let stats = EpochStats {
             epoch,
@@ -363,18 +753,20 @@ impl<'a> Trainer<'a> {
             pairs: total_pairs,
             seconds: start.elapsed().as_secs_f64(),
         };
-        if let Some(sink) = self.telemetry.as_mut() {
-            sink.emit(&EpochTelemetry {
-                record: EpochTelemetry::RECORD.to_string(),
-                epoch,
-                batches,
-                pairs: stats.pairs,
-                loss: stats.loss,
-                wall_s: stats.seconds,
-            });
-            sink.flush();
+        if !halted {
+            if let Some(sink) = self.telemetry.as_mut() {
+                sink.emit(&EpochTelemetry {
+                    record: EpochTelemetry::RECORD.to_string(),
+                    epoch,
+                    batches,
+                    pairs: stats.pairs,
+                    loss: stats.loss,
+                    wall_s: stats.seconds,
+                });
+                sink.flush();
+            }
         }
-        stats
+        (stats, !halted)
     }
 
     /// Run all configured epochs.
@@ -384,10 +776,19 @@ impl<'a> Trainer<'a> {
 
     /// Run all configured epochs, invoking `on_epoch` after each one
     /// (progress reporting, early-stopping checks, checkpointing).
+    ///
+    /// After [`Trainer::resume`] the loop continues from the checkpoint's
+    /// epoch; only epochs completed in *this* call appear in the returned
+    /// stats. A step limit halts mid-epoch without recording the partial
+    /// epoch.
     pub fn train_with(&mut self, mut on_epoch: impl FnMut(&EpochStats)) -> TrainStats {
         let mut stats = TrainStats::default();
-        for e in 0..self.config.epochs {
-            let epoch = self.train_epoch(e);
+        let start = std::mem::take(&mut self.start_epoch);
+        for e in start..self.config.epochs {
+            let (epoch, completed) = self.train_epoch_inner(e);
+            if !completed {
+                break;
+            }
             on_epoch(&epoch);
             stats.epochs.push(epoch);
         }
@@ -424,6 +825,8 @@ mod tests {
             clip: 5.0,
             seed: 11,
             threads: 1,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
         }
     }
 
@@ -682,6 +1085,273 @@ mod tests {
             .collect();
         assert_eq!(plain_losses, losses, "telemetry changed the loss curve");
         assert_eq!(plain_weights, weights, "telemetry changed the trained weights");
+    }
+
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir()
+                .join(format!("tmn_trainer_{tag}_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+
+        fn path(&self) -> String {
+            self.0.display().to_string()
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn periodic_checkpoints_are_saved_and_announced() {
+        let tmp = TempDir::new("periodic");
+        let train = toy_set(12);
+        let dmat = DistanceMatrix::compute(&train, Metric::Dtw, &MetricParams::default(), 1);
+        let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 9 });
+        let (sink, buf) = TelemetrySink::memory();
+        let mut trainer = Trainer::new(
+            model.as_ref(),
+            &train,
+            &dmat,
+            Metric::Dtw,
+            MetricParams::default(),
+            Box::new(RankSampler),
+            TrainConfig {
+                epochs: 1,
+                checkpoint_every: 2,
+                checkpoint_dir: Some(tmp.path()),
+                ..quick_config()
+            },
+            None,
+        )
+        .with_telemetry(sink);
+        trainer.train();
+        assert!(trainer.steps() >= 4, "toy epoch too small for this test");
+        let saves = buf
+            .lines()
+            .iter()
+            .filter(|l| l.contains("\"checkpoint_saved\""))
+            .count();
+        assert_eq!(saves as u64, trainer.steps() / 2, "one save every 2 steps");
+        let store = CheckpointStore::open(&tmp.0).unwrap();
+        let (ckpt, from) = store.load().unwrap();
+        assert_eq!(from, LoadedFrom::Latest);
+        let state = ckpt.trainer.expect("trainer section present");
+        assert_eq!(state.steps, trainer.steps() - trainer.steps() % 2);
+        assert!(ckpt.optimizer.is_some());
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_recipe_and_model() {
+        let tmp = TempDir::new("mismatch");
+        let train = toy_set(12);
+        let dmat = DistanceMatrix::compute(&train, Metric::Dtw, &MetricParams::default(), 1);
+        let cfg = TrainConfig {
+            epochs: 2,
+            checkpoint_every: 1,
+            checkpoint_dir: Some(tmp.path()),
+            ..quick_config()
+        };
+        let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 9 });
+        let mut trainer = Trainer::new(
+            model.as_ref(),
+            &train,
+            &dmat,
+            Metric::Dtw,
+            MetricParams::default(),
+            Box::new(RankSampler),
+            cfg.clone(),
+            None,
+        );
+        trainer.train();
+
+        // Changed seed: the replayed epoch would diverge.
+        let m2 = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 9 });
+        let mut t2 = Trainer::new(
+            m2.as_ref(),
+            &train,
+            &dmat,
+            Metric::Dtw,
+            MetricParams::default(),
+            Box::new(RankSampler),
+            TrainConfig { seed: 999, ..cfg.clone() },
+            None,
+        );
+        assert!(matches!(t2.resume_latest(), Err(CheckpointError::Mismatch { .. })));
+
+        // Wrong architecture: params don't fit.
+        let m3 = ModelKind::Srn.build(&ModelConfig { dim: 8, seed: 9 });
+        let mut t3 = Trainer::new(
+            m3.as_ref(),
+            &train,
+            &dmat,
+            Metric::Dtw,
+            MetricParams::default(),
+            Box::new(RankSampler),
+            cfg.clone(),
+            None,
+        );
+        assert!(matches!(t3.resume_latest(), Err(CheckpointError::Mismatch { .. })));
+
+        // No checkpoint_dir configured at all.
+        let mut t4 = Trainer::new(
+            m2.as_ref(),
+            &train,
+            &dmat,
+            Metric::Dtw,
+            MetricParams::default(),
+            Box::new(RankSampler),
+            TrainConfig { checkpoint_dir: None, ..cfg },
+            None,
+        );
+        assert!(matches!(t4.resume_latest(), Err(CheckpointError::Io(_))));
+    }
+
+    #[test]
+    fn nonfinite_batches_are_skipped_and_rolled_back() {
+        let tmp = TempDir::new("nonfinite");
+        let train = toy_set(12);
+        let dmat = DistanceMatrix::compute(&train, Metric::Dtw, &MetricParams::default(), 1);
+        let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 9 });
+        let (sink, buf) = TelemetrySink::memory();
+        let mut trainer = Trainer::new(
+            model.as_ref(),
+            &train,
+            &dmat,
+            Metric::Dtw,
+            MetricParams::default(),
+            Box::new(RankSampler),
+            TrainConfig {
+                epochs: 1,
+                checkpoint_every: 1,
+                checkpoint_dir: Some(tmp.path()),
+                ..quick_config()
+            },
+            None,
+        )
+        .with_telemetry(sink);
+        // One clean epoch fills the store with good checkpoints.
+        trainer.train();
+        let clean_steps = trainer.steps();
+        assert!(clean_steps > 0);
+
+        // Poison one weight: every forward pass now yields NaN, so without
+        // the guard the next epoch would destroy the optimizer state.
+        let (_, tensor) = model.params().iter().next().map(|(n, t)| (n.to_string(), t.clone())).unwrap();
+        tensor.data_mut()[0] = f32::NAN;
+
+        trainer.start_epoch = 0;
+        trainer.config.epochs = 1;
+        trainer.train();
+        let lines = buf.lines();
+        let skips = lines.iter().filter(|l| l.contains("\"nonfinite_skip\"")).count();
+        let rollbacks = lines.iter().filter(|l| l.contains("\"rollback\"")).count();
+        assert!(skips >= BAD_BATCH_LIMIT, "expected skip events, got {skips}");
+        assert!(rollbacks >= 1, "expected a rollback event");
+        // The rollback restored finite weights from the checkpoint, so
+        // training recovered: later steps applied and the model is finite.
+        assert!(trainer.steps() > clean_steps, "no step applied after recovery");
+        for (_, t) in model.params().iter() {
+            assert!(t.to_vec().iter().all(|v| v.is_finite()), "weights still non-finite");
+        }
+    }
+
+    #[test]
+    fn nonfinite_guard_without_store_never_panics() {
+        let train = toy_set(10);
+        let dmat = DistanceMatrix::compute(&train, Metric::Dtw, &MetricParams::default(), 1);
+        let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 9 });
+        let (_, tensor) = model.params().iter().next().map(|(n, t)| (n.to_string(), t.clone())).unwrap();
+        tensor.data_mut()[0] = f32::NAN;
+        let (sink, buf) = TelemetrySink::memory();
+        let mut trainer = Trainer::new(
+            model.as_ref(),
+            &train,
+            &dmat,
+            Metric::Dtw,
+            MetricParams::default(),
+            Box::new(RankSampler),
+            TrainConfig { epochs: 1, ..quick_config() },
+            None,
+        )
+        .with_telemetry(sink);
+        let stats = trainer.train();
+        // Nothing recoverable here (no checkpoint), but the run completes
+        // with skips + lr halvings instead of panicking or corrupting Adam.
+        assert_eq!(trainer.steps(), 0, "no non-finite step may be applied");
+        assert_eq!(stats.epochs[0].pairs, 0);
+        assert!(buf.lines().iter().any(|l| l.contains("\"lr_halved\"")));
+    }
+
+    #[test]
+    fn step_limit_halts_and_resume_continues_bit_identically() {
+        let run_full = || -> u64 {
+            let train = toy_set(12);
+            let dmat = DistanceMatrix::compute(&train, Metric::Dtw, &MetricParams::default(), 1);
+            let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 9 });
+            let mut trainer = Trainer::new(
+                model.as_ref(),
+                &train,
+                &dmat,
+                Metric::Dtw,
+                MetricParams::default(),
+                Box::new(RankSampler),
+                TrainConfig { epochs: 2, ..quick_config() },
+                None,
+            );
+            trainer.train();
+            model.params().fingerprint()
+        };
+        let run_interrupted = || -> u64 {
+            let tmp = TempDir::new("resume");
+            let train = toy_set(12);
+            let dmat = DistanceMatrix::compute(&train, Metric::Dtw, &MetricParams::default(), 1);
+            let cfg = TrainConfig {
+                epochs: 2,
+                checkpoint_every: 3,
+                checkpoint_dir: Some(tmp.path()),
+                ..quick_config()
+            };
+            {
+                let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 9 });
+                let mut trainer = Trainer::new(
+                    model.as_ref(),
+                    &train,
+                    &dmat,
+                    Metric::Dtw,
+                    MetricParams::default(),
+                    Box::new(RankSampler),
+                    cfg.clone(),
+                    None,
+                )
+                .with_step_limit(7); // dies mid-epoch, off checkpoint cadence
+                trainer.train();
+                assert_eq!(trainer.steps(), 7);
+            }
+            // Fresh process: new model, new trainer, resume from disk.
+            let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 12345 });
+            let mut trainer = Trainer::new(
+                model.as_ref(),
+                &train,
+                &dmat,
+                Metric::Dtw,
+                MetricParams::default(),
+                Box::new(RankSampler),
+                cfg,
+                None,
+            );
+            trainer.resume_latest().unwrap();
+            assert_eq!(trainer.steps(), 6, "resumes from the step-6 checkpoint");
+            trainer.train();
+            model.params().fingerprint()
+        };
+        assert_eq!(run_full(), run_interrupted(), "resumed run diverged from uninterrupted run");
     }
 
     #[test]

@@ -43,6 +43,8 @@ fn golden_run(threads: usize) -> (Vec<u32>, u64) {
         clip: 5.0,
         seed: 11,
         threads,
+        checkpoint_every: 0,
+        checkpoint_dir: None,
     };
     let mut trainer = Trainer::new(
         model.as_ref(),

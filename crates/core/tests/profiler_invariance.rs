@@ -36,6 +36,8 @@ fn train_run(threads: usize) -> (Vec<u32>, Vec<Vec<u32>>) {
         clip: 5.0,
         seed: 11,
         threads,
+        checkpoint_every: 0,
+        checkpoint_dir: None,
     };
     let mut trainer = Trainer::new(
         model.as_ref(),

@@ -39,4 +39,4 @@ pub mod profiler;
 pub mod telemetry;
 
 pub use profiler::{OpRecord, ScopeKind};
-pub use telemetry::{BatchTelemetry, EpochTelemetry, TelemetrySink};
+pub use telemetry::{BatchTelemetry, EpochTelemetry, EventTelemetry, TelemetrySink};

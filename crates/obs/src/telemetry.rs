@@ -64,6 +64,28 @@ impl EpochTelemetry {
     pub const RECORD: &'static str = "epoch";
 }
 
+/// A notable training lifecycle event: checkpoint saved, run resumed,
+/// non-finite batch skipped, rollback to a previous checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventTelemetry {
+    /// Always `"event"`.
+    pub record: String,
+    /// Event name: `"checkpoint_saved"`, `"resumed"`, `"nonfinite_skip"`,
+    /// `"rollback"`, ...
+    pub event: String,
+    pub epoch: usize,
+    /// Global gradient-step count when the event fired.
+    pub step: u64,
+    /// Learning rate in effect after the event.
+    pub lr: f32,
+    /// Free-form context (path, loss value, recovery source, ...).
+    pub detail: String,
+}
+
+impl EventTelemetry {
+    pub const RECORD: &'static str = "event";
+}
+
 /// In-memory byte buffer shared between a [`TelemetrySink`] and a test that
 /// wants to inspect what was written.
 #[derive(Debug, Clone, Default)]
@@ -189,6 +211,23 @@ mod tests {
         assert_eq!(v.get_field("record"), Some(&serde_json::Value::Str("batch".into())));
         assert!(v.get_field("loss").is_some());
         assert!(v.get_field("grad_norm").is_some());
+    }
+
+    #[test]
+    fn event_records_roundtrip() {
+        let (mut sink, buf) = TelemetrySink::memory();
+        sink.emit(&EventTelemetry {
+            record: EventTelemetry::RECORD.to_string(),
+            event: "checkpoint_saved".into(),
+            epoch: 2,
+            step: 37,
+            lr: 5e-3,
+            detail: "ckpt/latest.tmnckpt".into(),
+        });
+        let e: EventTelemetry = serde_json::from_str(&buf.lines()[0]).unwrap();
+        assert_eq!(e.record, "event");
+        assert_eq!(e.event, "checkpoint_saved");
+        assert_eq!(e.step, 37);
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub fn dtw_banded(a: &Trajectory, b: &Trajectory, band: usize) -> f64 {
     let (m, n) = (outer.len(), inner.len());
     // A band narrower than the slope of the alignment would make the DP
     // infeasible; widen it to at least the length difference + 1.
-    let band = band.max(1);
+    let band = band.max(m - n + 1);
     let mut prev = vec![f64::INFINITY; n + 1];
     let mut cur = vec![f64::INFINITY; n + 1];
     prev[0] = 0.0;

@@ -71,4 +71,36 @@ proptest! {
         let wide = dtw_banded(&a, &b, a.len().max(b.len()));
         prop_assert!((wide - full).abs() < 1e-9, "full-width band {wide} != exact {full}");
     }
+
+    /// Adversarial length ratios (down to 2 vs 200 points): the band is
+    /// widened to at least the length difference + 1, so even band=1 stays
+    /// feasible (finite) and still upper-bounds exact DTW.
+    #[test]
+    fn banded_dtw_survives_extreme_length_ratios(
+        short_len in 2usize..=4,
+        long_len in 50usize..=200,
+        band in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let wobble = |i: usize| ((i as f64 + seed as f64) * 0.7).sin() * 0.3;
+        let short: Trajectory = (0..short_len)
+            .map(|i| Point::new(i as f64 / short_len as f64, wobble(i)))
+            .collect();
+        let long: Trajectory = (0..long_len)
+            .map(|i| Point::new(i as f64 / long_len as f64, wobble(i + 1)))
+            .collect();
+        let full = dtw(&short, &long);
+        for (a, b) in [(&short, &long), (&long, &short)] {
+            let banded = dtw_banded(a, b, band);
+            prop_assert!(
+                banded.is_finite(),
+                "band {band} infeasible for lengths {} vs {}", a.len(), b.len()
+            );
+            prop_assert!(
+                banded >= full - 1e-9,
+                "banded DTW {banded} below exact DTW {full} (band {band}, {} vs {} points)",
+                a.len(), b.len()
+            );
+        }
+    }
 }

@@ -28,7 +28,7 @@ fn main() {
         metric,
         params,
         Box::new(RankSampler),
-        cfg,
+        cfg.clone(),
         None,
     );
     println!("training TMN (d=32, {} epochs)...", cfg.epochs);

@@ -22,4 +22,7 @@ test -s results/PROFILE_ops.json
 test -s results/PROFILE_telemetry.jsonl
 cargo run --release -p tmn-bench --bin profile -- --check
 
+echo "== resume smoke (kill-and-resume bit-identical, threads=1 and 4) =="
+cargo run --release -p tmn-bench --bin resume_smoke
+
 echo "CI OK"

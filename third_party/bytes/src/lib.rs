@@ -73,6 +73,11 @@ impl BytesMut {
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
+
+    /// Drop all contents, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
 }
 
 impl Deref for BytesMut {
@@ -107,6 +112,12 @@ pub trait Buf {
         let out = Bytes::copy_from_slice(&self.chunk()[..len]);
         self.advance(len);
         out
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
     }
 
     fn get_u32_le(&mut self) -> u32 {

@@ -213,6 +213,24 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// Workspace extension (not in upstream `rand`): expose the raw
+        /// xoshiro256** state so checkpoint/resume can persist the generator
+        /// position and continue the exact same stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Workspace extension (not in upstream `rand`): rebuild a generator
+        /// from a state captured with [`StdRng::state`]. An all-zero state
+        /// (a xoshiro fixed point, unreachable from any seeded stream) is
+        /// nudged the same way `from_seed` does.
+        pub fn from_state(mut s: [u64; 4]) -> StdRng {
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+
         fn step(&mut self) -> u64 {
             let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
             let t = self.s[1] << 17;
@@ -352,6 +370,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
         assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn state_roundtrip_continues_stream() {
+        let mut a = StdRng::seed_from_u64(17);
+        for _ in 0..5 {
+            let _: u64 = a.gen();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn all_zero_state_is_nudged() {
+        let mut rng = StdRng::from_state([0; 4]);
+        assert_ne!(rng.gen::<u64>() | rng.gen::<u64>(), 0);
     }
 
     #[test]
