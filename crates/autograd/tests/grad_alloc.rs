@@ -9,50 +9,39 @@
 //!
 //! A counting `#[global_allocator]` observes what a plain counter cannot:
 //! the temporaries never crossed `accumulate_grad`, they died inside the
-//! backward closures. This test is its own binary, so the only large
-//! allocations during the measured span are the ones under test.
+//! backward closures. The allocator now lives in `tmn_obs::memory` (the
+//! `alloc-count` feature, enabled for this crate's dev-dependencies) so the
+//! same account also powers trainer memory gauges; this test keeps its own
+//! binary so the only large allocations during the measured span are the
+//! ones under test.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use tmn_autograd::{grad_buffer_allocs, ops, Tensor};
+use tmn_obs::memory;
 
 /// Allocations of at least this many bytes are counted while armed.
 /// Parent tensors in the test are sized well above it; per-step tensors and
 /// graph bookkeeping stay well below.
 const LARGE: usize = 4096;
 
-static ARMED: AtomicBool = AtomicBool::new(false);
-static LARGE_ALLOCS: AtomicUsize = AtomicUsize::new(0);
-
-struct CountingAlloc;
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if layout.size() >= LARGE && ARMED.load(Ordering::Relaxed) {
-            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
-        }
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
+/// The armed counter and `grad_buffer_allocs` are process-global;
+/// serialize the measuring tests so parallel test threads cannot bleed
+/// allocations into each other's spans.
+fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-#[global_allocator]
-static ALLOC: CountingAlloc = CountingAlloc;
-
-fn count_large_during(f: impl FnOnce()) -> usize {
-    LARGE_ALLOCS.store(0, Ordering::SeqCst);
-    ARMED.store(true, Ordering::SeqCst);
-    f();
-    ARMED.store(false, Ordering::SeqCst);
-    LARGE_ALLOCS.load(Ordering::SeqCst)
+#[test]
+fn counting_allocator_is_compiled_in() {
+    // The whole gate rests on the alloc-count feature being active for
+    // test builds; fail loudly if the dev-dependency feature ever drops.
+    assert!(memory::is_active(), "tmn-obs alloc-count feature must be enabled for tests");
+    assert!(memory::alloc_count() > 0, "allocator must have observed this binary's allocations");
 }
-
-use tmn_autograd::{grad_buffer_allocs, ops, Tensor};
 
 #[test]
 fn select_time_backward_reuses_one_pooled_buffer() {
+    let _l = test_lock();
     // Parent [4, 32, 64] = 32 KiB of f32; each of the 32 select_time outputs
     // is [4, 64] = 1 KiB, under the LARGE threshold.
     let (b, m, d) = (4usize, 32usize, 64usize);
@@ -67,7 +56,7 @@ fn select_time_backward_reuses_one_pooled_buffer() {
     let loss = ops::sum_all(&acc);
 
     let pooled_before = grad_buffer_allocs();
-    let large = count_large_during(|| loss.backward());
+    let ((), large) = memory::count_large_during(LARGE, || loss.backward());
     let pooled = grad_buffer_allocs() - pooled_before;
 
     // One parent-sized gradient buffer for xs; every scatter lands in it.
@@ -83,6 +72,7 @@ fn select_time_backward_reuses_one_pooled_buffer() {
 
 #[test]
 fn gather_time_backward_reuses_one_pooled_buffer() {
+    let _l = test_lock();
     let (b, m, d) = (4usize, 32usize, 64usize);
     let xs = Tensor::param((0..b * m * d).map(|i| (i as f32 * 0.02).cos()).collect(), &[b, m, d]);
 
@@ -95,7 +85,7 @@ fn gather_time_backward_reuses_one_pooled_buffer() {
     let loss = ops::sum_all(&acc);
 
     let pooled_before = grad_buffer_allocs();
-    let large = count_large_during(|| loss.backward());
+    let ((), large) = memory::count_large_during(LARGE, || loss.backward());
     let pooled = grad_buffer_allocs() - pooled_before;
 
     assert!(large <= 3, "backward made {large} large allocations (expected <= 3, old path: {m})");

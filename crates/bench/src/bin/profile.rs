@@ -29,7 +29,7 @@ use std::time::Instant;
 use tmn::prelude::*;
 use tmn_bench::{write_json, Scale, Table};
 use tmn_eval::{time_search_phases, SearchPhases};
-use tmn_obs::{profiler, BatchTelemetry, EpochTelemetry, OpRecord, TelemetrySink};
+use tmn_obs::{metrics, profiler, BatchTelemetry, EpochTelemetry, MetricsSnapshot, OpRecord, TelemetrySink};
 
 const OPS_PATH: &str = "results/PROFILE_ops.json";
 const TELEMETRY_PATH: &str = "results/PROFILE_telemetry.jsonl";
@@ -62,6 +62,10 @@ struct Report {
     telemetry_path: String,
     train: TrainSection,
     eval: EvalSection,
+    /// Serving/training metrics registry at end of run: `queries_total`,
+    /// `query_*_ns` latency histograms (p50/p90/p95/p99), per-batch
+    /// trainer gauges. Same payload `tmn_obs::export::to_prometheus` serves.
+    metrics: MetricsSnapshot,
 }
 
 fn main() {
@@ -157,6 +161,8 @@ fn run() {
 
     profiler::set_enabled(true);
     profiler::reset();
+    metrics::set_enabled(true);
+    metrics::reset();
     let t0 = Instant::now();
     let stats = trainer.train();
     let train_wall = t0.elapsed();
@@ -193,6 +199,20 @@ fn run() {
         100.0 * fr,
         phases.total_s()
     );
+    let metrics_snap = metrics::snapshot();
+    for h in &metrics_snap.histograms {
+        if h.name.starts_with("query_") {
+            println!(
+                "{}: n={} p50 {:.1}µs p95 {:.1}µs p99 {:.1}µs max {:.1}µs",
+                h.name,
+                h.count,
+                h.p50_ns as f64 / 1e3,
+                h.p95_ns as f64 / 1e3,
+                h.p99_ns as f64 / 1e3,
+                h.max_ns as f64 / 1e3,
+            );
+        }
+    }
 
     let report = Report {
         scale: scale.name().to_string(),
@@ -209,6 +229,7 @@ fn run() {
             ops: train_ops,
         },
         eval: EvalSection { phases, ops: eval_ops },
+        metrics: metrics_snap,
     };
     write_json("PROFILE_ops", &report).expect("write results");
 }
@@ -256,6 +277,8 @@ fn check() -> Result<String, String> {
         return Err("non-positive wall times".into());
     }
 
+    check_metrics(&report)?;
+
     let telemetry = std::fs::read_to_string(&report.telemetry_path)
         .map_err(|e| format!("read {}: {e}", report.telemetry_path))?;
     let (mut batches, mut epochs) = (0usize, 0usize);
@@ -283,8 +306,77 @@ fn check() -> Result<String, String> {
         ));
     }
     Ok(format!(
-        "{} train ops, coverage {:.1}%, {batches} batch + {epochs} epoch telemetry records",
+        "{} train ops, coverage {:.1}%, {batches} batch + {epochs} epoch telemetry records, \
+         {} metrics histograms",
         report.train.ops.len(),
-        100.0 * report.train.coverage
+        100.0 * report.train.coverage,
+        report.metrics.histograms.len()
     ))
+}
+
+/// Schema + invariant validation of the embedded metrics registry snapshot
+/// (typed deserialization already happened; this checks the contents).
+fn check_metrics(report: &Report) -> Result<(), String> {
+    let m = &report.metrics;
+    let queries = report.queries as u64;
+    let total = m
+        .counter(tmn_eval::QUERIES_TOTAL)
+        .ok_or_else(|| format!("metrics: missing {} counter", tmn_eval::QUERIES_TOTAL))?;
+    if total < queries {
+        return Err(format!("metrics: queries_total {total} below report.queries {queries}"));
+    }
+    // TMN is pair-dependent: per-query embed + rank histograms, no index.
+    for name in [tmn_eval::QUERY_EMBED_NS, tmn_eval::QUERY_RANK_NS] {
+        let h = m.histogram(name).ok_or_else(|| format!("metrics: missing {name} histogram"))?;
+        if h.count < queries {
+            return Err(format!("metrics: {name} count {} below {queries} queries", h.count));
+        }
+        if !(h.min_ns <= h.p50_ns
+            && h.p50_ns <= h.p90_ns
+            && h.p90_ns <= h.p95_ns
+            && h.p95_ns <= h.p99_ns
+            && h.p99_ns <= h.max_ns)
+        {
+            return Err(format!("metrics: {name} quantiles not monotone"));
+        }
+        let bucket_total: u64 = h.buckets.iter().map(|b| b.count).sum();
+        if bucket_total != h.count {
+            return Err(format!(
+                "metrics: {name} bucket counts sum to {bucket_total}, expected {}",
+                h.count
+            ));
+        }
+        if h.sum_ns < h.max_ns || h.sum_ns > h.count.saturating_mul(h.max_ns) {
+            return Err(format!("metrics: {name} sum_ns {} outside [max, count*max]", h.sum_ns));
+        }
+    }
+    let batches = m
+        .counter(tmn_core::TRAIN_BATCHES_TOTAL)
+        .ok_or_else(|| format!("metrics: missing {} counter", tmn_core::TRAIN_BATCHES_TOTAL))?;
+    if batches == 0 {
+        return Err("metrics: zero training batches recorded".into());
+    }
+    let bh = m
+        .histogram(tmn_core::TRAIN_BATCH_NS)
+        .ok_or_else(|| format!("metrics: missing {} histogram", tmn_core::TRAIN_BATCH_NS))?;
+    if bh.count != batches {
+        return Err(format!(
+            "metrics: {} count {} != {} batch counter {batches}",
+            tmn_core::TRAIN_BATCH_NS,
+            bh.count,
+            tmn_core::TRAIN_BATCHES_TOTAL
+        ));
+    }
+    if m.gauge(tmn_core::TRAIN_BATCH_WALL_MS).is_none() {
+        return Err(format!("metrics: missing {} gauge", tmn_core::TRAIN_BATCH_WALL_MS));
+    }
+    // The Prometheus rendering of the same snapshot must expose the
+    // serving histograms (exporter smoke).
+    let prom = tmn_obs::export::to_prometheus(m);
+    for series in ["tmn_query_embed_ns_bucket{le=\"+Inf\"}", "tmn_queries_total", "tmn_train_batch_ns_count"] {
+        if !prom.contains(series) {
+            return Err(format!("metrics: prometheus export missing {series}"));
+        }
+    }
+    Ok(())
 }

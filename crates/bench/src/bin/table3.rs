@@ -7,7 +7,10 @@
 use std::time::Instant;
 use tmn::prelude::*;
 use tmn_bench::{write_json, Ctx, Scale, Table};
-use tmn_eval::{time_embedding_distance, time_exact_pairwise, time_inference_per_trajectory, EfficiencyRow};
+use tmn_eval::{
+    time_embedding_distance, time_exact_pairwise_counted, time_inference_per_trajectory_counted,
+    EfficiencyRow,
+};
 
 fn main() {
     let scale = Scale::from_args();
@@ -33,13 +36,16 @@ fn main() {
         .cloned()
         .collect();
     for metric in [Metric::Frechet, Metric::Dtw, Metric::Erp] {
-        let secs = time_exact_pairwise(&exact_sample, metric, &params);
-        eprintln!("  exact {metric}: {secs:.2}s for all pairwise");
+        // Counted timing hands back the denominator, so the per-pair mean
+        // in `computation_s` needs no re-derived n*(n-1)/2.
+        let (secs, pairs) = time_exact_pairwise_counted(&exact_sample, metric, &params);
+        eprintln!("  exact {metric}: {secs:.2}s for all pairwise ({pairs} pairs)");
         rows.push(EfficiencyRow {
             method: metric.name().to_string(),
             training_s: None,
             inference_s: None,
-            computation_s: secs,
+            computation_s: secs / pairs.max(1) as f64,
+            computation_ops: Some(pairs),
         });
     }
 
@@ -65,13 +71,16 @@ fn main() {
         // Inference: TMN's representations are pair-dependent, so encoding a
         // trajectory costs a full pair forward (the paper's 0.072 s vs
         // 0.00059 s asymmetry); for the others one siamese pass amortizes.
-        let infer_s = time_inference_per_trajectory(model.as_ref(), &ds.test[..50.min(ds.test.len())], 16);
-        eprintln!("  {kind}: train {train_s:.2}s/epoch, inference {infer_s:.6}s/traj");
+        let (infer_total_s, encoded) =
+            time_inference_per_trajectory_counted(model.as_ref(), &ds.test[..50.min(ds.test.len())], 16);
+        let infer_s = infer_total_s / encoded.max(1) as f64;
+        eprintln!("  {kind}: train {train_s:.2}s/epoch, inference {infer_s:.6}s/traj ({encoded} trajs)");
         rows.push(EfficiencyRow {
             method: kind.name().to_string(),
             training_s: Some(train_s),
             inference_s: Some(infer_s),
             computation_s: per_pair,
+            computation_ops: Some(10_000),
         });
     }
 

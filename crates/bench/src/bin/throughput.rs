@@ -13,6 +13,7 @@ use std::time::Instant;
 use tmn::prelude::*;
 use tmn_autograd::kernels;
 use tmn_bench::{write_json, Scale, Table};
+use tmn_obs::metrics;
 
 #[derive(serde::Serialize)]
 struct TrainRow {
@@ -41,6 +42,10 @@ struct Report {
     train_trajectories: usize,
     training: Vec<TrainRow>,
     kernels: Vec<KernelRow>,
+    /// Training-side metrics registry at end of run (`train_batch_ns`
+    /// histogram, batch counter, wall/memory gauges) — the payload
+    /// `bench_diff` gates across two captures.
+    metrics: tmn_obs::MetricsSnapshot,
     note: String,
 }
 
@@ -91,6 +96,9 @@ fn main() {
 
     let ds = Dataset::generate(&DatasetConfig::new(DatasetKind::PortoLike, size, 42));
     let dmat = ds.train_distance_matrix(Metric::Dtw, &MetricParams::default(), host_cores);
+
+    metrics::set_enabled(true);
+    metrics::reset();
 
     let mut training = Vec::new();
     let mut serial_sps = 0.0f64;
@@ -150,6 +158,7 @@ fn main() {
         train_trajectories: ds.train.len(),
         training,
         kernels: kernel_rows,
+        metrics: metrics::snapshot(),
         note: "Data-parallel workers run on scoped OS threads; on a single-core host the \
                remaining gain comes from per-chunk padding (each worker pads to its chunk's \
                longest trajectory, not the batch maximum). Multi-core hosts additionally get \

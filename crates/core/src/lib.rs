@@ -32,4 +32,7 @@ pub use checkpoint::{
 pub use config::{LossKind, ModelConfig, TrainConfig};
 pub use loss::{pair_loss, PairTargets};
 pub use models::{EncodedBatch, ModelKind, NeuTraj, PairModel, Srn, T3s, Tmn};
-pub use trainer::{EpochStats, Trainer, TrainStats};
+pub use trainer::{
+    EpochStats, TrainStats, Trainer, TRAIN_BATCHES_TOTAL, TRAIN_BATCH_NS, TRAIN_BATCH_WALL_MS,
+    TRAIN_LIVE_BYTES, TRAIN_PEAK_BYTES,
+};

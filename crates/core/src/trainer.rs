@@ -17,7 +17,14 @@ use tmn_data::Sampler;
 use tmn_traj::metrics::{prefix_distances, Metric, MetricParams};
 use tmn_traj::{DistanceMatrix, SimilarityMatrix, Trajectory};
 use tmn_autograd::optim::{clip_grad_norm, Adam};
-use tmn_obs::{profiler, BatchTelemetry, EpochTelemetry, EventTelemetry, TelemetrySink};
+use tmn_obs::{memory, metrics, profiler, BatchTelemetry, EpochTelemetry, EventTelemetry, TelemetrySink};
+
+/// Registry names for the training-side metrics (see DESIGN.md §8).
+pub const TRAIN_BATCH_NS: &str = "train_batch_ns";
+pub const TRAIN_BATCHES_TOTAL: &str = "train_batches_total";
+pub const TRAIN_BATCH_WALL_MS: &str = "train_batch_wall_ms";
+pub const TRAIN_PEAK_BYTES: &str = "train_peak_bytes";
+pub const TRAIN_LIVE_BYTES: &str = "train_live_bytes";
 
 /// Consecutive non-finite batches tolerated before the trainer intervenes
 /// (rollback to the last checkpoint, or a learning-rate halving).
@@ -597,6 +604,19 @@ impl<'a> Trainer<'a> {
         let start = Instant::now();
         let info = self.step(chunk);
         let lr = self.optimizer.lr();
+        // Serving-side registry shares the export surface with eval: batch
+        // wall time as histogram + gauge, memory watermarks when the
+        // counting allocator is compiled in. Reads already-computed scalars
+        // only, so it can never perturb the step itself
+        // (tests/metrics_invariance.rs).
+        let wall = start.elapsed();
+        metrics::observe_duration(TRAIN_BATCH_NS, wall);
+        metrics::counter_add(TRAIN_BATCHES_TOTAL, 1);
+        metrics::gauge_set(TRAIN_BATCH_WALL_MS, wall.as_secs_f64() * 1e3);
+        if memory::is_active() {
+            metrics::gauge_set(TRAIN_PEAK_BYTES, memory::peak_bytes() as f64);
+            metrics::gauge_set(TRAIN_LIVE_BYTES, memory::live_bytes() as f64);
+        }
         // Skipped (non-finite) batches get an event record instead: NaN is
         // not representable in JSON numbers.
         if info.applied {

@@ -1,0 +1,105 @@
+//! The metrics registry must be a pure observer: training with serving
+//! metrics enabled has to produce bitwise-identical loss curves and model
+//! parameters to training with them disabled. Mirror of
+//! `profiler_invariance.rs` for the registry added in the serving-metrics
+//! PR — the registry only ever reads already-computed wall-clock scalars,
+//! and this locks that in.
+//!
+//! Kept as a single test function: the metrics enable flag is
+//! process-global, and this integration-test binary owns its process.
+
+use tmn_core::{LossKind, ModelConfig, ModelKind, TrainConfig, Trainer};
+use tmn_data::RankSampler;
+use tmn_obs::metrics;
+use tmn_traj::metrics::{Metric, MetricParams};
+use tmn_traj::{DistanceMatrix, Point, Trajectory};
+
+fn toy_set(n: usize) -> Vec<Trajectory> {
+    (0..n)
+        .map(|i| {
+            let off = i as f64 / n as f64;
+            (0..12).map(|t| Point::new(0.08 * t as f64, off)).collect()
+        })
+        .collect()
+}
+
+fn train_run(threads: usize) -> (Vec<u32>, Vec<Vec<u32>>) {
+    let train = toy_set(12);
+    let dmat = DistanceMatrix::compute(&train, Metric::Dtw, &MetricParams::default(), 1);
+    let mcfg = ModelConfig { dim: 8, seed: 9 };
+    let model = ModelKind::Tmn.build(&mcfg);
+    let cfg = TrainConfig {
+        epochs: 2,
+        lr: 5e-3,
+        sampling_number: 6,
+        batch_pairs: 12,
+        loss: LossKind::Mse,
+        use_sub_loss: true,
+        sub_stride: 5,
+        clip: 5.0,
+        seed: 11,
+        threads,
+        checkpoint_every: 0,
+        checkpoint_dir: None,
+    };
+    let mut trainer = Trainer::new(
+        model.as_ref(),
+        &train,
+        &dmat,
+        Metric::Dtw,
+        MetricParams::default(),
+        Box::new(RankSampler),
+        cfg,
+        None,
+    );
+    if threads > 1 {
+        trainer = trainer.with_replicas(ModelKind::Tmn, mcfg);
+    }
+    let stats = trainer.train();
+    let losses = stats.epochs.iter().map(|e| e.loss.to_bits()).collect();
+    let weights = model
+        .params()
+        .snapshot()
+        .into_iter()
+        .map(|(_, _, d)| d.into_iter().map(f32::to_bits).collect())
+        .collect();
+    (losses, weights)
+}
+
+#[test]
+fn metrics_on_and_off_train_identically() {
+    metrics::set_enabled(false);
+    metrics::reset();
+    let (off_losses, off_weights) = train_run(1);
+    let off_snap = metrics::snapshot();
+    assert!(
+        off_snap.counter(tmn_core::TRAIN_BATCHES_TOTAL).is_none(),
+        "disabled registry must record nothing"
+    );
+
+    metrics::set_enabled(true);
+    metrics::reset();
+    let (on_losses, on_weights) = train_run(1);
+    let snap = metrics::snapshot();
+    metrics::set_enabled(false);
+
+    let batches = snap.counter(tmn_core::TRAIN_BATCHES_TOTAL).expect("batch counter populated");
+    assert!(batches >= 2, "expected at least one batch per epoch, got {batches}");
+    let h = snap.histogram(tmn_core::TRAIN_BATCH_NS).expect("batch histogram populated");
+    assert_eq!(h.count, batches, "one histogram observation per batch");
+    assert!(snap.gauge(tmn_core::TRAIN_BATCH_WALL_MS).is_some(), "wall-ms gauge populated");
+
+    assert_eq!(off_losses, on_losses, "metrics registry changed the loss curve");
+    assert_eq!(off_weights, on_weights, "metrics registry changed the trained weights");
+
+    // Same invariance on the data-parallel path.
+    metrics::set_enabled(false);
+    metrics::reset();
+    let (off_losses, off_weights) = train_run(4);
+    metrics::set_enabled(true);
+    metrics::reset();
+    let (on_losses, on_weights) = train_run(4);
+    metrics::set_enabled(false);
+    assert_eq!(off_losses, on_losses, "metrics registry changed the parallel loss curve");
+    assert_eq!(off_weights, on_weights, "metrics registry changed the parallel trained weights");
+}

@@ -8,7 +8,7 @@
 
 use tmn_autograd::{no_grad, ops};
 use tmn_core::{PairBatch, PairModel};
-use tmn_obs::profiler;
+use tmn_obs::{metrics, profiler};
 use tmn_traj::Trajectory;
 
 /// Euclidean distance between two embedding vectors.
@@ -69,19 +69,32 @@ pub fn pairwise_query_distances(
 
 /// Predicted distance rows for a set of query indices against the whole
 /// `trajs` database, dispatching on pair dependence.
+///
+/// As a serving entry point this also feeds the global metrics registry:
+/// `queries_total` advances by `queries.len()`, and embed spans land in the
+/// `query_embed_ns` histogram (per query for pair-dependent models, one
+/// whole-batch span otherwise).
 pub fn predicted_distance_rows(
     model: &dyn PairModel,
     trajs: &[Trajectory],
     queries: &[usize],
     batch_size: usize,
 ) -> Vec<Vec<f64>> {
+    metrics::counter_add(crate::timing::QUERIES_TOTAL, queries.len() as u64);
     if model.is_pair_dependent() {
         queries
             .iter()
-            .map(|&q| pairwise_query_distances(model, &trajs[q], trajs, batch_size))
+            .map(|&q| {
+                let start = std::time::Instant::now();
+                let row = pairwise_query_distances(model, &trajs[q], trajs, batch_size);
+                metrics::observe_duration(crate::timing::QUERY_EMBED_NS, start.elapsed());
+                row
+            })
             .collect()
     } else {
+        let start = std::time::Instant::now();
         let emb = encode_all(model, trajs, batch_size);
+        metrics::observe_duration(crate::timing::QUERY_EMBED_NS, start.elapsed());
         queries
             .iter()
             .map(|&q| emb.iter().map(|e| embedding_distance(&emb[q], e)).collect())

@@ -4,8 +4,18 @@
 
 use std::time::Instant;
 use tmn_core::PairModel;
+use tmn_obs::metrics;
 use tmn_traj::metrics::{Metric, MetricParams};
 use tmn_traj::Trajectory;
+
+/// Registry names for the serving-path metrics (see DESIGN.md §8). One
+/// histogram observation per query span; for independent-embedding models
+/// the embed/index spans cover the whole batch and are recorded once per
+/// search call (documented on [`time_search_phases`]).
+pub const QUERY_EMBED_NS: &str = "query_embed_ns";
+pub const QUERY_INDEX_NS: &str = "query_index_ns";
+pub const QUERY_RANK_NS: &str = "query_rank_ns";
+pub const QUERIES_TOTAL: &str = "queries_total";
 
 /// One row of the efficiency table.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -17,35 +27,64 @@ pub struct EfficiencyRow {
     pub inference_s: Option<f64>,
     /// Seconds to compute one (pairwise) similarity.
     pub computation_s: f64,
+    /// How many similarity evaluations `computation_s` was averaged over
+    /// (None when the row predates counted timing).
+    pub computation_ops: Option<u64>,
 }
 
 /// Wall-clock seconds to compute all pairwise distances of `trajs` under
-/// `metric` (the exact-metric "Computation" entry of Table III).
-pub fn time_exact_pairwise(trajs: &[Trajectory], metric: Metric, params: &MetricParams) -> f64 {
+/// `metric`, plus the number of pair evaluations performed — the per-pair
+/// mean is `secs / pairs` with no re-derived denominator.
+pub fn time_exact_pairwise_counted(
+    trajs: &[Trajectory],
+    metric: Metric,
+    params: &MetricParams,
+) -> (f64, u64) {
     let start = Instant::now();
     let mut acc = 0.0f64;
+    let mut pairs = 0u64;
     for (i, a) in trajs.iter().enumerate() {
         for b in trajs.iter().skip(i + 1) {
             acc += metric.distance(a, b, params);
+            pairs += 1;
         }
     }
     // Keep the accumulation observable so the loop cannot be optimized out.
     std::hint::black_box(acc);
-    start.elapsed().as_secs_f64()
+    (start.elapsed().as_secs_f64(), pairs)
 }
 
-/// Mean seconds to encode one trajectory with `model` (batched encoding,
-/// amortized). For pair-dependent models this measures self-paired encoding,
-/// matching how the paper reports TMN's per-trajectory inference cost.
+/// Wall-clock seconds to compute all pairwise distances of `trajs` under
+/// `metric` (the exact-metric "Computation" entry of Table III).
+/// Thin wrapper over [`time_exact_pairwise_counted`].
+pub fn time_exact_pairwise(trajs: &[Trajectory], metric: Metric, params: &MetricParams) -> f64 {
+    time_exact_pairwise_counted(trajs, metric, params).0
+}
+
+/// Total wall-clock seconds to encode every trajectory with `model`
+/// (batched, amortized), plus the number of trajectories encoded. For
+/// pair-dependent models this measures self-paired encoding, matching how
+/// the paper reports TMN's per-trajectory inference cost.
+pub fn time_inference_per_trajectory_counted(
+    model: &dyn PairModel,
+    trajs: &[Trajectory],
+    batch_size: usize,
+) -> (f64, u64) {
+    let start = Instant::now();
+    let emb = crate::search::encode_all(model, trajs, batch_size);
+    std::hint::black_box(&emb);
+    (start.elapsed().as_secs_f64(), trajs.len() as u64)
+}
+
+/// Mean seconds to encode one trajectory. Thin wrapper over
+/// [`time_inference_per_trajectory_counted`].
 pub fn time_inference_per_trajectory(
     model: &dyn PairModel,
     trajs: &[Trajectory],
     batch_size: usize,
 ) -> f64 {
-    let start = Instant::now();
-    let emb = crate::search::encode_all(model, trajs, batch_size);
-    std::hint::black_box(&emb);
-    start.elapsed().as_secs_f64() / trajs.len().max(1) as f64
+    let (secs, n) = time_inference_per_trajectory_counted(model, trajs, batch_size);
+    secs / n.max(1) as f64
 }
 
 /// Mean seconds to compute the Euclidean similarity of two `d`-dim
@@ -88,6 +127,27 @@ impl SearchPhases {
     }
 }
 
+/// Exact per-span nanosecond latencies measured by one
+/// [`time_search_phases_detailed`] call — the very samples fed into the
+/// metrics registry histograms, returned so tests can validate exported
+/// quantiles against a sorted-sample oracle.
+#[derive(Debug, Clone, Default)]
+pub struct QueryLatencies {
+    /// Per-query embed spans (pair-dependent models), or one whole-batch
+    /// span (independent models).
+    pub embed_ns: Vec<u64>,
+    /// One whole-batch index-build span (independent models only; empty
+    /// for pair-dependent models, which cannot be pre-indexed).
+    pub index_ns: Vec<u64>,
+    /// Per-query rank spans.
+    pub rank_ns: Vec<u64>,
+}
+
+#[inline]
+fn elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
 /// Run a full top-k search for `queries` (database indices) over `trajs`
 /// and report per-phase timings alongside each query's `(index, distance)`
 /// result list (self included).
@@ -95,6 +155,12 @@ impl SearchPhases {
 /// Independent-embedding models go through encode → store-build → k-NN scan;
 /// pair-dependent models (TMN) pay the encoding per query and skip the
 /// index phase entirely — the cost asymmetry of the paper's Table III.
+///
+/// Serving metrics: every span is also recorded into the global
+/// [`tmn_obs::metrics`] registry — per-query spans feed the
+/// [`QUERY_EMBED_NS`] / [`QUERY_RANK_NS`] histograms and [`QUERIES_TOTAL`];
+/// for independent models the one-shot whole-batch embed/index spans go to
+/// [`QUERY_EMBED_NS`] / [`QUERY_INDEX_NS`] (one observation per call).
 pub fn time_search_phases(
     model: &dyn PairModel,
     trajs: &[Trajectory],
@@ -102,38 +168,73 @@ pub fn time_search_phases(
     k: usize,
     batch_size: usize,
 ) -> (SearchPhases, Vec<Vec<(usize, f64)>>) {
+    let (phases, results, _) = time_search_phases_detailed(model, trajs, queries, k, batch_size);
+    (phases, results)
+}
+
+/// [`time_search_phases`] plus the exact per-span latencies it recorded
+/// (the metrics-histogram oracle used by `tests/serving_metrics.rs`).
+pub fn time_search_phases_detailed(
+    model: &dyn PairModel,
+    trajs: &[Trajectory],
+    queries: &[usize],
+    k: usize,
+    batch_size: usize,
+) -> (SearchPhases, Vec<Vec<(usize, f64)>>, QueryLatencies) {
     let _prof = tmn_obs::profiler::phase("eval.search");
-    if model.is_pair_dependent() {
-        let start = Instant::now();
-        let rows: Vec<Vec<f64>> = queries
-            .iter()
-            .map(|&q| crate::search::pairwise_query_distances(model, &trajs[q], trajs, batch_size))
-            .collect();
-        let embed_s = start.elapsed().as_secs_f64();
-        let start = Instant::now();
-        let results = rows
-            .iter()
-            .map(|row| {
-                let mut idx: Vec<usize> = (0..row.len()).collect();
-                idx.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap().then(a.cmp(&b)));
-                idx.truncate(k);
-                idx.into_iter().map(|i| (i, row[i])).collect()
-            })
-            .collect();
-        let rank_s = start.elapsed().as_secs_f64();
+    let mut lat = QueryLatencies::default();
+    metrics::counter_add(QUERIES_TOTAL, queries.len() as u64);
+    let (phases, results) = if model.is_pair_dependent() {
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(queries.len());
+        for &q in queries {
+            let start = Instant::now();
+            let row = crate::search::pairwise_query_distances(model, &trajs[q], trajs, batch_size);
+            let ns = elapsed_ns(start);
+            metrics::observe_ns(QUERY_EMBED_NS, ns);
+            lat.embed_ns.push(ns);
+            rows.push(row);
+        }
+        let mut results = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let start = Instant::now();
+            let mut idx: Vec<usize> = (0..row.len()).collect();
+            idx.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap().then(a.cmp(&b)));
+            idx.truncate(k);
+            let ranked: Vec<(usize, f64)> = idx.into_iter().map(|i| (i, row[i])).collect();
+            let ns = elapsed_ns(start);
+            metrics::observe_ns(QUERY_RANK_NS, ns);
+            lat.rank_ns.push(ns);
+            results.push(ranked);
+        }
+        let embed_s = lat.embed_ns.iter().sum::<u64>() as f64 / 1e9;
+        let rank_s = lat.rank_ns.iter().sum::<u64>() as f64 / 1e9;
         (SearchPhases { embed_s, index_s: 0.0, rank_s, queries: queries.len() }, results)
     } else {
         let start = Instant::now();
         let emb = crate::search::encode_all(model, trajs, batch_size);
-        let embed_s = start.elapsed().as_secs_f64();
+        let embed_ns = elapsed_ns(start);
+        metrics::observe_ns(QUERY_EMBED_NS, embed_ns);
+        lat.embed_ns.push(embed_ns);
         let start = Instant::now();
         let store = crate::EmbeddingStore::from_vectors(&emb);
-        let index_s = start.elapsed().as_secs_f64();
-        let start = Instant::now();
-        let results = queries.iter().map(|&q| store.knn_exact(&emb[q], k)).collect();
-        let rank_s = start.elapsed().as_secs_f64();
+        let index_ns = elapsed_ns(start);
+        metrics::observe_ns(QUERY_INDEX_NS, index_ns);
+        lat.index_ns.push(index_ns);
+        let mut results = Vec::with_capacity(queries.len());
+        for &q in queries {
+            let start = Instant::now();
+            let ranked = store.knn_exact(&emb[q], k);
+            let ns = elapsed_ns(start);
+            metrics::observe_ns(QUERY_RANK_NS, ns);
+            lat.rank_ns.push(ns);
+            results.push(ranked);
+        }
+        let embed_s = embed_ns as f64 / 1e9;
+        let index_s = index_ns as f64 / 1e9;
+        let rank_s = lat.rank_ns.iter().sum::<u64>() as f64 / 1e9;
         (SearchPhases { embed_s, index_s, rank_s, queries: queries.len() }, results)
-    }
+    };
+    (phases, results, lat)
 }
 
 #[cfg(test)]

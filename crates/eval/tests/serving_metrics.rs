@@ -1,0 +1,158 @@
+//! End-to-end serving metrics: top-k search must populate the global
+//! latency histograms, and the exported p50/p95/p99 must agree with an
+//! exact sorted-sample oracle within the documented 1/16 bucket error.
+//!
+//! The oracle is `QueryLatencies` from `time_search_phases_detailed` — the
+//! very nanosecond spans the search fed into the registry — so this
+//! validates the whole chain: measurement → histogram → snapshot → export.
+//!
+//! The registry is process-global and tests in one binary run on parallel
+//! threads, so every test takes the shared lock and resets the registry.
+
+use std::sync::{Mutex, MutexGuard};
+use tmn_core::{ModelConfig, ModelKind};
+use tmn_eval::{
+    predicted_distance_rows, time_search_phases_detailed, QUERIES_TOTAL, QUERY_EMBED_NS,
+    QUERY_INDEX_NS, QUERY_RANK_NS,
+};
+use tmn_obs::metrics::{self, HistogramSnapshot, SUB_BUCKETS};
+use tmn_obs::export;
+use tmn_traj::{Point, Trajectory};
+
+fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn trajs(n: usize, len: usize) -> Vec<Trajectory> {
+    (0..n)
+        .map(|i| {
+            (0..len + i % 7)
+                .map(|t| Point::new(0.02 * t as f64, 0.05 * i as f64))
+                .collect()
+        })
+        .collect()
+}
+
+/// Exact order statistic with `Histogram::quantile`'s rank definition.
+fn oracle_quantile(samples: &[u64], q: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Exported estimate must never undershoot the exact order statistic and
+/// may overshoot by at most 1/16 relative (the documented bucket error).
+fn assert_quantile_within_bound(est: u64, samples: &[u64], q: f64, name: &str) {
+    let exact = oracle_quantile(samples, q);
+    assert!(est >= exact, "{name} p{q}: exported {est} undershoots exact {exact}");
+    assert!(
+        (est - exact) as f64 <= exact as f64 / SUB_BUCKETS as f64,
+        "{name} p{q}: exported {est} overshoots exact {exact} beyond 1/{SUB_BUCKETS}"
+    );
+}
+
+fn assert_histogram_matches_oracle(h: &HistogramSnapshot, samples: &[u64]) {
+    assert_eq!(h.count, samples.len() as u64, "{}: count mismatch", h.name);
+    assert_eq!(h.sum_ns, samples.iter().sum::<u64>(), "{}: sum mismatch", h.name);
+    assert_eq!(h.min_ns, *samples.iter().min().unwrap(), "{}: min mismatch", h.name);
+    assert_eq!(h.max_ns, *samples.iter().max().unwrap(), "{}: max mismatch", h.name);
+    for (q, est) in [(0.50, h.p50_ns), (0.95, h.p95_ns), (0.99, h.p99_ns)] {
+        assert_quantile_within_bound(est, samples, q, &h.name);
+    }
+    assert!(h.p50_ns <= h.p95_ns && h.p95_ns <= h.p99_ns && h.p99_ns <= h.max_ns);
+}
+
+#[test]
+fn pair_dependent_search_populates_histograms_matching_oracle() {
+    let _l = test_lock();
+    metrics::set_enabled(true);
+    metrics::reset();
+
+    let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 5 });
+    let ts = trajs(10, 8);
+    let queries: Vec<usize> = (0..10).collect();
+    let (phases, results, lat) = time_search_phases_detailed(model.as_ref(), &ts, &queries, 5, 4);
+    let snap = metrics::snapshot();
+    metrics::reset();
+
+    assert_eq!(phases.queries, queries.len());
+    assert_eq!(results.len(), queries.len());
+    assert_eq!(lat.embed_ns.len(), queries.len(), "one embed span per query");
+    assert_eq!(lat.rank_ns.len(), queries.len(), "one rank span per query");
+    assert!(lat.index_ns.is_empty(), "pair-dependent search has no index span");
+
+    assert_eq!(snap.counter(QUERIES_TOTAL), Some(queries.len() as u64));
+    assert!(snap.histogram(QUERY_INDEX_NS).is_none(), "no index histogram expected");
+    assert_histogram_matches_oracle(snap.histogram(QUERY_EMBED_NS).unwrap(), &lat.embed_ns);
+    assert_histogram_matches_oracle(snap.histogram(QUERY_RANK_NS).unwrap(), &lat.rank_ns);
+
+    // The Prometheus rendering of the same snapshot exposes the histograms
+    // under the documented names.
+    let text = export::to_prometheus(&snap);
+    assert!(text.contains("# TYPE tmn_query_embed_ns histogram"));
+    assert!(text.contains("# TYPE tmn_query_rank_ns histogram"));
+    assert!(text.contains(&format!("tmn_queries_total {}", queries.len())));
+}
+
+#[test]
+fn independent_search_records_index_span_and_per_query_ranks() {
+    let _l = test_lock();
+    metrics::set_enabled(true);
+    metrics::reset();
+
+    let model = ModelKind::Srn.build(&ModelConfig { dim: 8, seed: 6 });
+    let ts = trajs(12, 8);
+    let queries: Vec<usize> = (0..12).collect();
+    let (phases, _, lat) = time_search_phases_detailed(model.as_ref(), &ts, &queries, 4, 4);
+    let snap = metrics::snapshot();
+    metrics::reset();
+
+    assert!(phases.index_s > 0.0 || lat.index_ns == vec![0]);
+    assert_eq!(lat.embed_ns.len(), 1, "independent models embed the whole batch once");
+    assert_eq!(lat.index_ns.len(), 1, "one index-build span per search call");
+    assert_eq!(lat.rank_ns.len(), queries.len(), "one rank span per query");
+
+    assert_eq!(snap.counter(QUERIES_TOTAL), Some(queries.len() as u64));
+    assert_eq!(snap.histogram(QUERY_EMBED_NS).unwrap().count, 1);
+    assert_eq!(snap.histogram(QUERY_INDEX_NS).unwrap().count, 1);
+    assert_histogram_matches_oracle(snap.histogram(QUERY_RANK_NS).unwrap(), &lat.rank_ns);
+}
+
+#[test]
+fn predicted_distance_rows_counts_queries() {
+    let _l = test_lock();
+    metrics::set_enabled(true);
+    metrics::reset();
+
+    let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 7 });
+    let ts = trajs(5, 6);
+    let rows = predicted_distance_rows(model.as_ref(), &ts, &[0, 2, 4], 2);
+    let snap = metrics::snapshot();
+    metrics::reset();
+
+    assert_eq!(rows.len(), 3);
+    assert_eq!(snap.counter(QUERIES_TOTAL), Some(3));
+    assert_eq!(snap.histogram(QUERY_EMBED_NS).unwrap().count, 3, "per-query embed spans");
+}
+
+#[test]
+fn disabled_registry_records_nothing_and_search_still_works() {
+    let _l = test_lock();
+    metrics::set_enabled(false);
+    metrics::reset();
+
+    let model = ModelKind::Tmn.build(&ModelConfig { dim: 8, seed: 8 });
+    let ts = trajs(5, 6);
+    let (phases, results, lat) = time_search_phases_detailed(model.as_ref(), &ts, &[1, 3], 3, 2);
+    let snap = metrics::snapshot();
+    metrics::set_enabled(true);
+
+    assert_eq!(phases.queries, 2);
+    assert_eq!(results.len(), 2);
+    assert_eq!(lat.embed_ns.len(), 2, "detailed latencies still returned when disabled");
+    assert!(snap.counter(QUERIES_TOTAL).is_none(), "disabled registry must stay empty");
+    assert!(snap.histogram(QUERY_EMBED_NS).is_none());
+    assert!(snap.histogram(QUERY_RANK_NS).is_none());
+}

@@ -5,7 +5,7 @@
 //! reports through this one, so it depends only on the vendored `serde` /
 //! `serde_json` stubs.
 //!
-//! Two subsystems:
+//! Four subsystems:
 //!
 //! - [`profiler`] — a process-global, thread-safe registry of timed scopes.
 //!   `tmn-autograd` records every forward and backward op (wall time, call
@@ -16,6 +16,14 @@
 //! - [`telemetry`] — per-batch / per-epoch training records streamed as
 //!   JSON Lines, one object per line, so a run can be tailed live and
 //!   post-processed with standard tooling.
+//! - [`metrics`] — serving-path metrics registry: counters, gauges and
+//!   log-linear latency histograms (exact cross-thread merge, p50/p90/p95/
+//!   p99/max with a documented ≤ 1/16 bucket error), exported through
+//!   [`export`] as Prometheus text or a JSON snapshot. Enabled by default;
+//!   granularity is per-query / per-batch, not per-op.
+//! - [`memory`] — opt-in (`alloc-count` feature) counting global allocator:
+//!   live/peak bytes and allocation counts, surfaced as gauges and used by
+//!   allocation-regression tests.
 //!
 //! ## Example
 //!
@@ -35,8 +43,12 @@
 //! assert_eq!(rec.flops, 2 * 4 * 4 * 4);
 //! ```
 
+pub mod export;
+pub mod memory;
+pub mod metrics;
 pub mod profiler;
 pub mod telemetry;
 
+pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot};
 pub use profiler::{OpRecord, ScopeKind};
 pub use telemetry::{BatchTelemetry, EpochTelemetry, EventTelemetry, TelemetrySink};

@@ -1,0 +1,189 @@
+//! Locks in the documented histogram quantile error bound against an exact
+//! sorted-sample oracle, plus the edge cases the bound's wording carves
+//! out: single-bucket inputs (exact), sub-16ns linear region (exact), and
+//! the overflow bucket (reports the exact max, bound not applicable).
+//!
+//! The registry-level cross-thread merge determinism test lives in
+//! `src/metrics.rs`; here we also check that *partial-histogram* merges are
+//! bitwise order-independent under arbitrary partitions.
+
+use proptest::prelude::*;
+use tmn_obs::metrics::{bucket_bounds, bucket_index, Histogram, OVERFLOW_THRESHOLD_NS, SUB_BUCKETS};
+
+/// Exact order statistic matching `Histogram::quantile`'s rank definition:
+/// the rank-`ceil(q·n)` smallest sample (1-based, clamped to ≥ 1).
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Assert the documented bound: estimate never undershoots the exact order
+/// statistic and overshoots by at most 1/SUB_BUCKETS relative.
+fn assert_within_bound(est: u64, exact: u64, q: f64) {
+    assert!(est >= exact, "q={q}: estimate {est} undershoots exact {exact}");
+    let overshoot = (est - exact) as f64;
+    assert!(
+        overshoot <= exact as f64 / SUB_BUCKETS as f64,
+        "q={q}: estimate {est} overshoots exact {exact} beyond 1/{SUB_BUCKETS}"
+    );
+}
+
+const QS: [f64; 6] = [0.0, 0.5, 0.9, 0.95, 0.99, 1.0];
+
+/// Samples spanning several octaves without hitting the overflow bucket.
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    let small = prop::collection::vec(0u64..64, 1..=40);
+    let mid = prop::collection::vec(1_000u64..10_000_000, 1..=120);
+    let wide = prop::collection::vec(0u64..OVERFLOW_THRESHOLD_NS, 1..=120);
+    prop_oneof![small, mid, wide]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Quantile estimates stay within the documented 1/16 relative bound
+    /// of the exact sorted-sample order statistic, at every quantile.
+    #[test]
+    fn quantiles_match_oracle_within_bucket_error(samples in arb_samples()) {
+        let mut h = Histogram::new();
+        samples.iter().for_each(|&v| h.observe(v));
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in QS {
+            assert_within_bound(h.quantile(q), oracle_quantile(&sorted, q), q);
+        }
+        prop_assert_eq!(h.count(), sorted.len() as u64);
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        prop_assert_eq!(h.sum(), sorted.iter().sum::<u64>());
+    }
+
+    /// Single-bucket edge case: when every sample is the same value, every
+    /// quantile is exact (the estimate clamps to the tracked max).
+    #[test]
+    fn constant_samples_give_exact_quantiles(v in 0u64..OVERFLOW_THRESHOLD_NS, n in 1usize..=50) {
+        let mut h = Histogram::new();
+        (0..n).for_each(|_| h.observe(v));
+        for q in QS {
+            prop_assert_eq!(h.quantile(q), v, "constant input must be exact at q={}", q);
+        }
+    }
+
+    /// Linear-region edge case: below 16 ns every bucket holds one integer,
+    /// so quantiles are exact, not just within the bound.
+    #[test]
+    fn sub_octave_values_are_exact(samples in prop::collection::vec(0u64..SUB_BUCKETS, 1..=60)) {
+        let mut h = Histogram::new();
+        samples.iter().for_each(|&v| h.observe(v));
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in QS {
+            prop_assert_eq!(h.quantile(q), oracle_quantile(&sorted, q));
+        }
+    }
+
+    /// Overflow edge case: quantiles that land in the overflow bucket
+    /// report the exact observed maximum.
+    #[test]
+    fn overflow_bucket_reports_exact_max(
+        extra in 0u64..1_000_000,
+        n in 1usize..=20,
+    ) {
+        let mut h = Histogram::new();
+        let base = OVERFLOW_THRESHOLD_NS + extra;
+        for i in 0..n as u64 {
+            h.observe(base + i * 997);
+        }
+        let max = base + (n as u64 - 1) * 997;
+        for q in QS {
+            prop_assert_eq!(h.quantile(q), max, "overflowed quantile must be the exact max");
+        }
+        prop_assert_eq!(h.count(), n as u64);
+    }
+
+    /// Mixed regular + overflow samples: quantiles below the overflow mass
+    /// still honor the bound; those inside it return the exact max.
+    #[test]
+    fn mixed_overflow_keeps_bound_below_threshold(
+        low in prop::collection::vec(1_000u64..1_000_000, 10..=60),
+        high in prop::collection::vec(OVERFLOW_THRESHOLD_NS..u64::MAX / 2, 1..=5),
+    ) {
+        let mut h = Histogram::new();
+        low.iter().chain(high.iter()).for_each(|&v| h.observe(v));
+        let mut sorted: Vec<u64> = low.iter().chain(high.iter()).copied().collect();
+        sorted.sort_unstable();
+        for q in QS {
+            let exact = oracle_quantile(&sorted, q);
+            let est = h.quantile(q);
+            if exact >= OVERFLOW_THRESHOLD_NS {
+                prop_assert_eq!(est, *sorted.last().unwrap());
+            } else {
+                assert_within_bound(est, exact, q);
+            }
+        }
+    }
+
+    /// Merging any partition of the samples, in any order, yields a
+    /// histogram identical to observing them directly — exact merge.
+    #[test]
+    fn partitioned_merge_is_exact_and_order_independent(
+        samples in prop::collection::vec(0u64..100_000_000, 2..=150),
+        parts in 2usize..=5,
+        reverse in prop_oneof![Just(false), Just(true)],
+    ) {
+        let mut direct = Histogram::new();
+        samples.iter().for_each(|&v| direct.observe(v));
+
+        let mut shards = vec![Histogram::new(); parts];
+        for (i, &v) in samples.iter().enumerate() {
+            shards[i % parts].observe(v);
+        }
+        if reverse {
+            shards.reverse();
+        }
+        let mut merged = Histogram::new();
+        shards.iter().for_each(|s| merged.merge(s));
+        prop_assert_eq!(&merged, &direct, "merge must be exact under any partition/order");
+        for q in QS {
+            prop_assert_eq!(merged.quantile(q), direct.quantile(q));
+        }
+    }
+
+    /// The index/bounds pair is consistent for arbitrary values: every
+    /// value falls inside the bounds of its own bucket.
+    #[test]
+    fn value_lies_within_its_bucket_bounds(v in 0u64..OVERFLOW_THRESHOLD_NS) {
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        prop_assert!(lo <= v && v < hi, "{v} outside its bucket [{lo}, {hi})");
+    }
+}
+
+/// Observations split across real threads through thread-local histograms,
+/// merged into one — equals the serial histogram bit-for-bit regardless of
+/// thread scheduling.
+#[test]
+fn threaded_partial_histograms_merge_deterministically() {
+    let vals: Vec<u64> = (0..400u64).map(|i| (i * i * 31 + 17) % 50_000_000).collect();
+    let mut serial = Histogram::new();
+    vals.iter().for_each(|&v| serial.observe(v));
+
+    for _ in 0..3 {
+        let shards: Vec<Histogram> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let chunk: Vec<u64> = vals.iter().skip(t).step_by(4).copied().collect();
+                    s.spawn(move || {
+                        let mut h = Histogram::new();
+                        chunk.iter().for_each(|&v| h.observe(v));
+                        h
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut merged = Histogram::new();
+        shards.iter().for_each(|h| merged.merge(h));
+        assert_eq!(merged, serial, "threaded merge must equal serial observation exactly");
+    }
+}

@@ -22,6 +22,15 @@ test -s results/PROFILE_ops.json
 test -s results/PROFILE_telemetry.jsonl
 cargo run --release -p tmn-bench --bin profile -- --check
 
+echo "== bench_diff self-check (regression gate dry run) =="
+# Identity diff of a results file against itself must pass; a synthetic
+# perturbation of every gated metric must be caught. Two-run usage:
+#   cargo run --release -p tmn-bench --bin bench_diff -- base.json head.json
+cargo run --release -p tmn-bench --bin bench_diff -- --self-check results/PROFILE_ops.json
+if [ -s results/BENCH_throughput.json ]; then
+  cargo run --release -p tmn-bench --bin bench_diff -- --self-check results/BENCH_throughput.json
+fi
+
 echo "== resume smoke (kill-and-resume bit-identical, threads=1 and 4) =="
 cargo run --release -p tmn-bench --bin resume_smoke
 
