@@ -12,14 +12,21 @@
 //! *accumulated into*, not overwritten. Small problems fall back to the
 //! [`reference`] kernels — packing costs O(m·k + k·n) writes, which only
 //! pays for itself once the O(m·n·k) multiply dominates.
+//!
+//! The microkernel is selected once per process by [`crate::simd::active`]:
+//! a 6×16 AVX2+FMA register tile where the CPU supports it, the portable
+//! scalar 4×8 tile everywhere else. The packing code is generic over the
+//! tile shape, so both paths share the same blocked skeleton (and the same
+//! zero-padded edge handling).
 
+use crate::simd;
 use std::cell::RefCell;
 
-/// Register tile height (rows of A per microkernel call).
+/// Scalar register tile height (rows of A per microkernel call).
 pub const MR: usize = 4;
-/// Register tile width (columns of B per microkernel call); 8 f32 lanes fill
-/// one AVX register (or two SSE registers), which is what rustc/LLVM
-/// autovectorizes the accumulator update into.
+/// Scalar register tile width (columns of B per microkernel call); 8 f32
+/// lanes fill one AVX register (or two SSE registers), which is what
+/// rustc/LLVM autovectorizes the accumulator update into.
 pub const NR: usize = 8;
 /// K-stripe depth: one packed A panel of `MR`·`KC` f32 stays L1-resident.
 const KC: usize = 256;
@@ -74,28 +81,60 @@ where
     FA: Fn(usize, usize) -> f32,
     FB: Fn(usize, usize) -> f32,
 {
+    match simd::active() {
+        #[cfg(target_arch = "x86_64")]
+        simd::Dispatch::Avx2Fma => gemm_blocked::<{ simd::avx2::MR }, { simd::avx2::NR }, FA, FB>(
+            m,
+            k,
+            n,
+            a_at,
+            b_at,
+            out,
+            simd::avx2::microkernel,
+        ),
+        _ => gemm_blocked::<MR, NR, FA, FB>(m, k, n, a_at, b_at, out, microkernel_scalar::<MR, NR>),
+    }
+}
+
+/// Micro-kernel signature: packed A panel, packed B panel, depth, and the
+/// `TM`×`TN` register accumulator tile.
+type MicroKernel<const TM: usize, const TN: usize> = fn(&[f32], &[f32], usize, &mut [[f32; TN]; TM]);
+
+/// Cache-blocked skeleton, generic over the `TM`×`TN` register tile.
+fn gemm_blocked<const TM: usize, const TN: usize, FA, FB>(
+    m: usize,
+    k: usize,
+    n: usize,
+    a_at: FA,
+    b_at: FB,
+    out: &mut [f32],
+    micro: MicroKernel<TM, TN>,
+) where
+    FA: Fn(usize, usize) -> f32,
+    FB: Fn(usize, usize) -> f32,
+{
     debug_assert_eq!(out.len(), m * n);
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let n_panels = n.div_ceil(NR);
+    let n_panels = n.div_ceil(TN);
     let kc_max = KC.min(k);
-    let m_panels_max = MC.min(m).div_ceil(MR);
+    let m_panels_max = MC.min(m).div_ceil(TM);
     PACK_A.with(|pa| {
         PACK_B.with(|pb| {
             let mut ap = pa.borrow_mut();
             let mut bp = pb.borrow_mut();
-            ap.resize(m_panels_max * kc_max * MR, 0.0);
-            bp.resize(n_panels * kc_max * NR, 0.0);
+            ap.resize(m_panels_max * kc_max * TM, 0.0);
+            bp.resize(n_panels * kc_max * TN, 0.0);
 
             for p0 in (0..k).step_by(KC) {
                 let kc = KC.min(k - p0);
-                // Pack B stripe: panel jp holds B[p0..p0+kc, jp*NR..+NR],
-                // kk-major so the microkernel reads NR-wide rows in order.
+                // Pack B stripe: panel jp holds B[p0..p0+kc, jp*TN..+TN],
+                // kk-major so the microkernel reads TN-wide rows in order.
                 for jp in 0..n_panels {
-                    let j0 = jp * NR;
+                    let j0 = jp * TN;
                     for kk in 0..kc {
-                        let dst = &mut bp[(jp * kc + kk) * NR..(jp * kc + kk + 1) * NR];
+                        let dst = &mut bp[(jp * kc + kk) * TN..(jp * kc + kk + 1) * TN];
                         for (jj, d) in dst.iter_mut().enumerate() {
                             let j = j0 + jj;
                             *d = if j < n { b_at(p0 + kk, j) } else { 0.0 };
@@ -104,29 +143,34 @@ where
                 }
                 for i0 in (0..m).step_by(MC) {
                     let mc = MC.min(m - i0);
-                    let m_panels = mc.div_ceil(MR);
-                    // Pack A block: panel ip holds A[i0+ip*MR..+MR, p0..p0+kc],
-                    // kk-major with MR consecutive rows per kk.
+                    let m_end = i0 + mc;
+                    let m_panels = mc.div_ceil(TM);
+                    // Pack A block: panel ip holds A[i0+ip*TM..+TM, p0..p0+kc],
+                    // kk-major with TM consecutive rows per kk. Rows are
+                    // clamped to this block (`m_end`), not just to `m` — when
+                    // MC isn't a multiple of TM the last panel straddles the
+                    // next block, whose rows must stay zero here or they
+                    // would accumulate twice.
                     for ip in 0..m_panels {
-                        let i_base = i0 + ip * MR;
+                        let i_base = i0 + ip * TM;
                         for kk in 0..kc {
-                            let dst = &mut ap[(ip * kc + kk) * MR..(ip * kc + kk + 1) * MR];
+                            let dst = &mut ap[(ip * kc + kk) * TM..(ip * kc + kk + 1) * TM];
                             for (ii, d) in dst.iter_mut().enumerate() {
                                 let i = i_base + ii;
-                                *d = if i < m { a_at(i, p0 + kk) } else { 0.0 };
+                                *d = if i < m_end { a_at(i, p0 + kk) } else { 0.0 };
                             }
                         }
                     }
                     for jp in 0..n_panels {
-                        let j0 = jp * NR;
-                        let nr = NR.min(n - j0);
-                        let bpan = &bp[jp * kc * NR..(jp + 1) * kc * NR];
+                        let j0 = jp * TN;
+                        let nr = TN.min(n - j0);
+                        let bpan = &bp[jp * kc * TN..(jp + 1) * kc * TN];
                         for ip in 0..m_panels {
-                            let i_base = i0 + ip * MR;
-                            let mr = MR.min(m - i_base);
-                            let apan = &ap[ip * kc * MR..(ip + 1) * kc * MR];
-                            let mut acc = [[0.0f32; NR]; MR];
-                            microkernel(apan, bpan, kc, &mut acc);
+                            let i_base = i0 + ip * TM;
+                            let mr = TM.min(m_end - i_base);
+                            let apan = &ap[ip * kc * TM..(ip + 1) * kc * TM];
+                            let mut acc = [[0.0f32; TN]; TM];
+                            micro(apan, bpan, kc, &mut acc);
                             for (ii, acc_row) in acc.iter().enumerate().take(mr) {
                                 let row = (i_base + ii) * n + j0;
                                 for (o, &v) in out[row..row + nr].iter_mut().zip(acc_row) {
@@ -141,18 +185,23 @@ where
     });
 }
 
-/// `acc[MR][NR] += Ap·Bp` over one packed `kc`-deep panel pair.
+/// `acc[TM][TN] += Ap·Bp` over one packed `kc`-deep panel pair.
 ///
 /// The fixed-size array reads let LLVM keep the full accumulator tile in
-/// registers and vectorize the `NR`-wide FMA row.
+/// registers and vectorize the `TN`-wide FMA row.
 #[inline(always)]
-fn microkernel(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
-    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+fn microkernel_scalar<const TM: usize, const TN: usize>(
+    ap: &[f32],
+    bp: &[f32],
+    kc: usize,
+    acc: &mut [[f32; TN]; TM],
+) {
+    debug_assert!(ap.len() >= kc * TM && bp.len() >= kc * TN);
     for kk in 0..kc {
-        let a: [f32; MR] = ap[kk * MR..kk * MR + MR].try_into().unwrap();
-        let b: [f32; NR] = bp[kk * NR..kk * NR + NR].try_into().unwrap();
-        for (acc_row, &av) in acc.iter_mut().zip(&a) {
-            for (o, &bv) in acc_row.iter_mut().zip(&b) {
+        let a = &ap[kk * TM..kk * TM + TM];
+        let b = &bp[kk * TN..kk * TN + TN];
+        for (acc_row, &av) in acc.iter_mut().zip(a) {
+            for (o, &bv) in acc_row.iter_mut().zip(b) {
                 *o += av * bv;
             }
         }

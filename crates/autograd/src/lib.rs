@@ -32,14 +32,16 @@
 //! assert!((w.to_vec()[0] - 2.0).abs() < 1e-2);
 //! ```
 
+pub mod infer;
 pub mod kernels;
 pub mod nn;
 pub mod ops;
 pub mod optim;
 mod profile;
+pub mod simd;
 mod tensor;
 pub mod threading;
 
 pub use profile::INSTRUMENTED_OPS;
-pub use tensor::{grad_buffer_allocs, grad_enabled, no_grad, BackCtx, Tensor};
+pub use tensor::{grad_buffer_allocs, grad_enabled, no_grad, nodes_created, BackCtx, Tensor};
 pub use threading::{intra_op_threads, set_intra_op_threads};

@@ -53,6 +53,16 @@ impl Recurrent for BiLstm {
         let bwd = ops::reverse_time(&self.backward.forward_seq(&ops::reverse_time(xs)));
         ops::concat_last(&fwd, &bwd)
     }
+
+    fn forward_seq_nograd(&self, xs: &[f32], bs: usize, m: usize) -> Vec<f32> {
+        let (fw_ih, fw_hh, fb) = self.forward.weights();
+        let (bw_ih, bw_hh, bb) = self.backward.weights();
+        let (fwi, fwh, fbd) = (fw_ih.data(), fw_hh.data(), fb.data());
+        let (bwi, bwh, bbd) = (bw_ih.data(), bw_hh.data(), bb.data());
+        let fwd = crate::infer::LstmWeights { w_ih: &fwi, w_hh: &fwh, bias: &fbd };
+        let bwd = crate::infer::LstmWeights { w_ih: &bwi, w_hh: &bwh, bias: &bbd };
+        crate::infer::bilstm_seq(xs, bs, m, self.input_dim, self.hidden, &fwd, &bwd)
+    }
 }
 
 #[cfg(test)]

@@ -102,6 +102,20 @@ impl Recurrent for Gru {
         }
         ops::collect_states(&states, h)
     }
+
+    fn forward_seq_nograd(&self, xs: &[f32], bs: usize, m: usize) -> Vec<f32> {
+        let (wi, wh, bd) = (self.w_ih.data(), self.w_hh.data(), self.bias.data());
+        let (wn, whn, bn) = (self.w_in.data(), self.w_hn.data(), self.bias_n.data());
+        let w = crate::infer::GruWeights {
+            w_ih: &wi,
+            w_hh: &wh,
+            bias: &bd,
+            w_in: &wn,
+            w_hn: &whn,
+            bias_n: &bn,
+        };
+        crate::infer::gru_seq(xs, bs, m, self.input_dim, self.hidden, &w)
+    }
 }
 
 #[cfg(test)]

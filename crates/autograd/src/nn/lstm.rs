@@ -102,6 +102,12 @@ impl super::rnn::Recurrent for Lstm {
     fn forward_seq(&self, xs: &Tensor) -> Tensor {
         self.forward_seq_impl(xs)
     }
+
+    fn forward_seq_nograd(&self, xs: &[f32], bs: usize, m: usize) -> Vec<f32> {
+        let (wi, wh, bd) = (self.w_ih.data(), self.w_hh.data(), self.bias.data());
+        let w = crate::infer::LstmWeights { w_ih: &wi, w_hh: &wh, bias: &bd };
+        crate::infer::lstm_seq(xs, bs, m, self.input_dim, self.hidden, &w)
+    }
 }
 
 #[cfg(test)]

@@ -37,6 +37,31 @@ impl Mlp {
     pub fn out_dim(&self) -> usize {
         self.layers.last().expect("non-empty").out_dim()
     }
+
+    /// The layer stack, in forward order (used by serving-side inspection
+    /// and the no-grad parity tests).
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Tape-free [`Mlp::forward`] over a plain `[rows, in]` buffer; returns
+    /// a rented `[rows, out]` buffer (recycle via [`crate::infer::recycle`]).
+    pub fn forward_nograd(&self, x: &[f32], rows: usize) -> Vec<f32> {
+        let last = self.layers.len() - 1;
+        let mut h: Option<Vec<f32>> = None;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let src: &[f32] = h.as_deref().unwrap_or(x);
+            let mut next = layer.forward_nograd(src, rows);
+            if i != last {
+                crate::infer::leaky_relu_inplace(&mut next);
+            }
+            if let Some(prev) = h.take() {
+                crate::infer::recycle(prev);
+            }
+            h = Some(next);
+        }
+        h.expect("non-empty")
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,12 @@ pub trait Recurrent {
     fn hidden_dim(&self) -> usize;
     fn input_dim(&self) -> usize;
     fn forward_seq(&self, xs: &Tensor) -> Tensor;
+
+    /// Tape-free forward over plain buffers: `xs` is `[B, m, d_in]`
+    /// flattened row-major; returns `[B, m, h]` in a buffer rented from
+    /// [`crate::infer`]'s pool (recycle it with [`crate::infer::recycle`]).
+    /// Bitwise-identical to [`Recurrent::forward_seq`] on the same data.
+    fn forward_seq_nograd(&self, xs: &[f32], bs: usize, m: usize) -> Vec<f32>;
 }
 
 /// Which recurrent backbone to build.

@@ -22,6 +22,11 @@ pub use rnn_fused::{collect_states, gru_cell_fused, lstm_cell_fused, rnn_gate_pr
 pub use shape_ops::{concat_last, gather_time, reshape, reverse_time, select_time, slice_last, stack_time};
 pub use softmax::{masked_softmax, softmax};
 
+// Forward kernels shared with the no-grad inference path (`crate::infer`),
+// so graphed and tape-free forwards stay bitwise identical.
+pub(crate) use rnn_fused::{gru_step_elementwise, lstm_step_elementwise};
+pub(crate) use softmax::softmax_row;
+
 /// Leading-dimension product for "apply over last dim" ops:
 /// a `[d0, .., dk, n]` tensor is treated as `rows x n`.
 pub(crate) fn rows_of(shape: &[usize]) -> usize {

@@ -35,11 +35,73 @@
 
 use crate::kernels::{mm_nn, mm_nt, mm_tn};
 use crate::profile::op_scope;
+use crate::simd;
 use crate::Tensor;
 
-#[inline]
-fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
+/// The forward elementwise block of one LSTM step, shared verbatim by the
+/// graphed op and the no-grad inference path (`crate::infer`) so the two
+/// stay bitwise identical. `z` is `[B, 4h]` (pre-projection plus the
+/// recurrent GEMM, gate order `[i | f | g | o]`), `cp` is the `[B, h]`
+/// previous cell state; writes the full `[B, 7h]` stash layout
+/// `[h | c | i | f | g | o | tanh(c)]`. Gate activations run through the
+/// SIMD-dispatched slice kernels.
+pub(crate) fn lstm_step_elementwise(z: &[f32], cp: &[f32], bs: usize, h: usize, out: &mut [f32]) {
+    debug_assert!(z.len() >= bs * 4 * h && cp.len() >= bs * h && out.len() >= bs * 7 * h);
+    for b in 0..bs {
+        let zr = &z[b * 4 * h..(b + 1) * 4 * h];
+        let o = &mut out[b * 7 * h..(b + 1) * 7 * h];
+        // Activated gates land in their stash columns: σ over [i | f]
+        // (contiguous), tanh over g, σ over the output gate.
+        o[2 * h..6 * h].copy_from_slice(zr);
+        simd::sigmoid_inplace(&mut o[2 * h..4 * h]);
+        simd::tanh_inplace(&mut o[4 * h..5 * h]);
+        simd::sigmoid_inplace(&mut o[5 * h..6 * h]);
+        for j in 0..h {
+            // c = f ⊙ c_prev + i ⊙ g
+            o[h + j] = o[3 * h + j] * cp[b * h + j] + o[2 * h + j] * o[4 * h + j];
+        }
+        o.copy_within(h..2 * h, 6 * h);
+        simd::tanh_inplace(&mut o[6 * h..7 * h]);
+        for j in 0..h {
+            // h = o ⊙ tanh(c)
+            o[j] = o[5 * h + j] * o[6 * h + j];
+        }
+    }
+}
+
+/// The forward elementwise block of one GRU step (see
+/// [`lstm_step_elementwise`] for the sharing contract). `zr` is `[B, 2h]`
+/// (`[r | z]` pre-activations), `q = h_prev · w_hn` is `[B, h]`, `pn_t` is
+/// step `t`'s slice of the `n`-gate pre-projection, `hp` the packed `[B, h]`
+/// previous hidden state; writes the `[B, 5h]` stash layout
+/// `[h | r | z | n | q]`.
+pub(crate) fn gru_step_elementwise(
+    zr: &[f32],
+    q: &[f32],
+    pn_t: &[f32],
+    hp: &[f32],
+    bs: usize,
+    h: usize,
+    out: &mut [f32],
+) {
+    debug_assert!(zr.len() >= bs * 2 * h && q.len() >= bs * h && pn_t.len() >= bs * h);
+    debug_assert!(hp.len() >= bs * h && out.len() >= bs * 5 * h);
+    for b in 0..bs {
+        let zr_row = &zr[b * 2 * h..(b + 1) * 2 * h];
+        let o = &mut out[b * 5 * h..(b + 1) * 5 * h];
+        o[h..3 * h].copy_from_slice(zr_row);
+        simd::sigmoid_inplace(&mut o[h..3 * h]); // [r | z]
+        o[4 * h..5 * h].copy_from_slice(&q[b * h..(b + 1) * h]);
+        for j in 0..h {
+            // n pre-activation: pre_n[t] + r ⊙ q
+            o[3 * h + j] = pn_t[b * h + j] + o[h + j] * o[4 * h + j];
+        }
+        simd::tanh_inplace(&mut o[3 * h..4 * h]);
+        for j in 0..h {
+            // h = (1 − z) ⊙ n + z ⊙ h_prev
+            o[j] = (1.0 - o[2 * h + j]) * o[3 * h + j] + o[2 * h + j] * hp[b * h + j];
+        }
+    }
 }
 
 /// Extract `[B, take)`-column rows of a `[B, s]` buffer into a contiguous
@@ -189,25 +251,7 @@ pub fn lstm_cell_fused(pre: &Tensor, t: usize, state: &Tensor, w_hh: &Tensor) ->
     mm_nn(&hp, &w_hh.data(), bs, h, 4 * h, &mut z);
 
     let mut data = vec![0.0f32; bs * 7 * h];
-    for b in 0..bs {
-        let zr = &z[b * h4..(b + 1) * h4];
-        let out = &mut data[b * 7 * h..(b + 1) * 7 * h];
-        for j in 0..h {
-            let i_g = sigmoid(zr[j]);
-            let f_g = sigmoid(zr[h + j]);
-            let g_g = zr[2 * h + j].tanh();
-            let o_g = sigmoid(zr[3 * h + j]);
-            let c = f_g * cp[b * h + j] + i_g * g_g;
-            let tc = c.tanh();
-            out[j] = o_g * tc;
-            out[h + j] = c;
-            out[2 * h + j] = i_g;
-            out[3 * h + j] = f_g;
-            out[4 * h + j] = g_g;
-            out[5 * h + j] = o_g;
-            out[6 * h + j] = tc;
-        }
-    }
+    lstm_step_elementwise(&z, &cp, bs, h, &mut data);
 
     Tensor::from_op(
         &[bs, 7 * h],
@@ -316,21 +360,7 @@ pub fn gru_cell_fused(
     let pn = pre_n.data();
     let pn_t = &pn[t * bs * h..(t + 1) * bs * h];
     let mut data = vec![0.0f32; bs * 5 * h];
-    for b in 0..bs {
-        let zr_row = &zr[b * h2..(b + 1) * h2];
-        let out = &mut data[b * 5 * h..(b + 1) * 5 * h];
-        for j in 0..h {
-            let r_g = sigmoid(zr_row[j]);
-            let z_g = sigmoid(zr_row[h + j]);
-            let qv = q[b * h + j];
-            let n_g = (pn_t[b * h + j] + r_g * qv).tanh();
-            out[j] = (1.0 - z_g) * n_g + z_g * hp[b * h + j];
-            out[h + j] = r_g;
-            out[2 * h + j] = z_g;
-            out[3 * h + j] = n_g;
-            out[4 * h + j] = qv;
-        }
-    }
+    gru_step_elementwise(&zr, &q, pn_t, &hp, bs, h, &mut data);
 
     Tensor::from_op(
         &[bs, 5 * h],

@@ -4,7 +4,9 @@ use super::rows_of;
 use crate::profile::op_scope;
 use crate::Tensor;
 
-fn softmax_row(row: &mut [f32], valid: impl Fn(usize) -> bool) {
+// `pub(crate)`: the no-grad inference path (`crate::infer`) reuses this row
+// kernel so its masked softmax matches the graphed op bitwise.
+pub(crate) fn softmax_row(row: &mut [f32], valid: impl Fn(usize) -> bool) {
     let mut max = f32::NEG_INFINITY;
     for (j, v) in row.iter().enumerate() {
         if valid(j) && *v > max {

@@ -38,6 +38,14 @@ fn fresh_id() -> u64 {
     })
 }
 
+/// Total tensors (graph nodes, including pruned no-grad outputs) created on
+/// this thread so far. A delta of zero across a region proves the region
+/// performed *no* tensor allocation at all — the contract the `infer`
+/// fast path is tested against.
+pub fn nodes_created() -> u64 {
+    NEXT_ID.with(|c| c.get())
+}
+
 /// Run `f` with gradient recording disabled on this thread.
 ///
 /// Operations executed inside build no graph: outputs are plain value

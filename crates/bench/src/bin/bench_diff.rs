@@ -14,10 +14,11 @@
 //!
 //! Direction heuristics (on the leaf name):
 //! - higher-better: `*per_sec`, `*gflops`, `*speedup`, `*throughput`,
-//!   `hr*`/`recall*`/`r10*`, `coverage`
-//! - lower-better: `*_ns`, `*_ms`, `*_s`, `*seconds`, `*wall*`, `*latency*`,
-//!   `*bytes`, `*time*`
-//! - anything else is informational: reported, never gated.
+//!   `*qps*`, `hr*`/`recall*`/`r10*`, `coverage`
+//! - lower-better: `*_ns*` (including percentile leaves like `embed_ns_p99`),
+//!   `*_ms`, `*_s`, `*seconds`, `*wall*`, `*latency*`, `*bytes`, `*time*`
+//! - anything else is informational: reported, never gated (strings such as
+//!   `simd_dispatch` never reach classification — only numeric leaves do).
 //!
 //! `--self-check FILE` is the CI smoke: FILE diffed against itself must
 //! pass (exit 0 path), and against a synthetically perturbed copy (every
@@ -37,7 +38,7 @@ enum Direction {
 
 fn classify(path: &str) -> Direction {
     let leaf = path.rsplit('.').next().unwrap_or(path).to_ascii_lowercase();
-    const HIGHER: &[&str] = &["per_sec", "gflops", "speedup", "throughput", "coverage"];
+    const HIGHER: &[&str] = &["per_sec", "gflops", "speedup", "throughput", "coverage", "qps"];
     if HIGHER.iter().any(|t| leaf.contains(t))
         || leaf.starts_with("hr")
         || leaf.starts_with("recall")
@@ -46,7 +47,9 @@ fn classify(path: &str) -> Direction {
         return Direction::HigherBetter;
     }
     const LOWER_SUFFIX: &[&str] = &["_ns", "_ms", "_s"];
-    const LOWER_SUBSTR: &[&str] = &["seconds", "wall", "latency", "bytes", "time"];
+    // `_ns` appears as a substring too so percentile leaves (`embed_ns_p99`)
+    // gate as latencies even though they don't *end* with the unit.
+    const LOWER_SUBSTR: &[&str] = &["seconds", "wall", "latency", "bytes", "time", "_ns"];
     if LOWER_SUFFIX.iter().any(|t| leaf.ends_with(t))
         || LOWER_SUBSTR.iter().any(|t| leaf.contains(t))
     {
@@ -360,7 +363,12 @@ mod tests {
         assert_eq!(classify("kernels[2].blocked_gflops"), Direction::HigherBetter);
         assert_eq!(classify("eval.hr10"), Direction::HigherBetter);
         assert_eq!(classify("train.coverage"), Direction::HigherBetter);
+        assert_eq!(classify("infer.infer_qps"), Direction::HigherBetter);
+        assert_eq!(classify("infer.nograd_speedup"), Direction::HigherBetter);
         assert_eq!(classify("metrics.histograms[0].p99_ns"), Direction::LowerBetter);
+        assert_eq!(classify("infer.embed_ns_p50"), Direction::LowerBetter);
+        assert_eq!(classify("infer.embed_ns_p99"), Direction::LowerBetter);
+        assert_eq!(classify("infer.index_bytes"), Direction::LowerBetter);
         assert_eq!(classify("train.wall_s"), Direction::LowerBetter);
         assert_eq!(classify("phases.embed_s"), Direction::LowerBetter);
         assert_eq!(classify("gauges[0].train_peak_bytes"), Direction::LowerBetter);

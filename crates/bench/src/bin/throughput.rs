@@ -1,18 +1,24 @@
 //! Training-throughput benchmark: serial vs data-parallel gradient steps,
-//! plus naive-vs-blocked GEMM kernel microbenchmarks.
+//! naive-vs-blocked GEMM kernel microbenchmarks, and the tape-free
+//! inference fast path (embed qps, per-call latency percentiles, and the
+//! int8-quantized index footprint).
 //!
 //! Trains TMN under the paper's default recipe (batch of 64 pairs) at
 //! several worker counts and reports steps/second; then times the scalar
-//! reference kernels against the cache-blocked ones at a few GEMM shapes.
+//! reference kernels against the cache-blocked ones at a few GEMM shapes;
+//! then benches `embed_nograd` against the graphed forward.
 //!
 //! Usage: `cargo run -p tmn-bench --release --bin throughput [--quick|--full]`
 //!
 //! Results land in `results/BENCH_throughput.json`.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::time::Instant;
 use tmn::prelude::*;
 use tmn_autograd::kernels;
 use tmn_bench::{write_json, Scale, Table};
+use tmn_eval::time_inference_split;
 use tmn_obs::metrics;
 
 #[derive(serde::Serialize)]
@@ -30,8 +36,33 @@ struct KernelRow {
     k: usize,
     n: usize,
     naive_gflops: f64,
+    /// Cache-blocked kernel with SIMD dispatch forced to the scalar tile.
+    scalar_gflops: f64,
+    /// Cache-blocked kernel under the host's best dispatch (AVX2+FMA here).
     blocked_gflops: f64,
     speedup: f64,
+    /// blocked (dispatched) over blocked (forced scalar): the SIMD win alone.
+    simd_speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct InferRow {
+    /// Active SIMD path ("avx2" / "scalar"). A string, so `bench_diff`
+    /// reports it as informational rather than gating it — two captures on
+    /// different hosts should not fail the gate over hardware.
+    simd_dispatch: String,
+    trajectories: usize,
+    /// Tape-free trajectories embedded per second (batched encode, batch 16).
+    infer_qps: f64,
+    /// Graphed wall / tape-free wall over the same encode workload — the
+    /// autograd overhead the serving path skips.
+    nograd_speedup: f64,
+    /// Single-pair `embed_nograd` latency percentiles in nanoseconds.
+    embed_ns_p50: f64,
+    embed_ns_p99: f64,
+    /// Vector bytes held by the int8-quantized HNSW index vs the f32 one.
+    index_bytes: usize,
+    index_f32_bytes: usize,
 }
 
 #[derive(serde::Serialize)]
@@ -42,6 +73,7 @@ struct Report {
     train_trajectories: usize,
     training: Vec<TrainRow>,
     kernels: Vec<KernelRow>,
+    infer: InferRow,
     /// Training-side metrics registry at end of run (`train_batch_ns`
     /// histogram, batch counter, wall/memory gauges) — the payload
     /// `bench_diff` gates across two captures.
@@ -87,6 +119,57 @@ fn bench_kernel(f: impl Fn(&[f32], &[f32], &mut [f32]), a: &[f32], b: &[f32], ou
     (reps * flops) as f64 / secs / 1e9
 }
 
+/// Benchmark the tape-free serving path: batched encode throughput and
+/// speedup over the graphed forward, single-pair latency percentiles, and
+/// the quantized-index footprint over the encoded set.
+fn bench_inference(ds: &Dataset, dim: usize) -> InferRow {
+    let model = ModelKind::Tmn.build(&ModelConfig { dim, seed: 42 });
+    let n = ds.test.len().min(64);
+    let trajs = &ds.test[..n];
+
+    let split = time_inference_split(model.as_ref(), trajs, 16);
+    let infer_qps = split.trajectories as f64 / split.nograd_s.max(1e-12);
+
+    // Single-pair latency: batch construction stays outside the clock so
+    // the percentiles cover the model forward only.
+    for t in trajs.iter().take(8) {
+        let batch = PairBatch::build(&[t], &[t]);
+        std::hint::black_box(model.embed_nograd(&batch.a, &batch.b));
+    }
+    let mut samples: Vec<f64> = Vec::new();
+    let reps = 200usize.div_ceil(n.max(1));
+    for _ in 0..reps {
+        for t in trajs {
+            let batch = PairBatch::build(&[t], &[t]);
+            let t0 = Instant::now();
+            let out = model.embed_nograd(&batch.a, &batch.b).expect("TMN has a tape-free path");
+            let ns = t0.elapsed().as_nanos() as f64;
+            std::hint::black_box(&out);
+            samples.push(ns);
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: usize| samples[(samples.len() * p / 100).min(samples.len() - 1)];
+
+    let emb = encode_all(model.as_ref(), trajs, 16);
+    let store = EmbeddingStore::from_vectors(&emb);
+    let mut rng = StdRng::seed_from_u64(7);
+    let index_bytes = store.build_hnsw_quantized(HnswConfig::default(), &mut rng).memory_bytes();
+    let mut rng = StdRng::seed_from_u64(7);
+    let index_f32_bytes = store.build_hnsw(HnswConfig::default(), &mut rng).memory_bytes();
+
+    InferRow {
+        simd_dispatch: tmn_autograd::simd::dispatch_name().to_string(),
+        trajectories: n,
+        infer_qps,
+        nograd_speedup: split.speedup(),
+        embed_ns_p50: pct(50),
+        embed_ns_p99: pct(99),
+        index_bytes,
+        index_f32_bytes,
+    }
+}
+
 fn main() {
     let scale = Scale::from_args();
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -125,19 +208,44 @@ fn main() {
             |a, b, out| kernels::reference::mm_nn(a, b, m, k, n, out),
             &a, &b, m * n, flops,
         );
+        tmn_autograd::simd::force_scalar(true);
+        let scalar = bench_kernel(
+            |a, b, out| kernels::mm_nn(a, b, m, k, n, out),
+            &a, &b, m * n, flops,
+        );
+        tmn_autograd::simd::force_scalar(false);
         let blocked = bench_kernel(
             |a, b, out| kernels::mm_nn(a, b, m, k, n, out),
             &a, &b, m * n, flops,
         );
-        eprintln!("  mm_nn {m}x{k}x{n}: naive {naive:.2} vs blocked {blocked:.2} GFLOP/s");
+        eprintln!(
+            "  mm_nn {m}x{k}x{n}: naive {naive:.2} vs blocked-scalar {scalar:.2} \
+             vs blocked-{} {blocked:.2} GFLOP/s",
+            tmn_autograd::simd::dispatch_name()
+        );
         kernel_rows.push(KernelRow {
             kernel: "mm_nn".to_string(),
             m, k, n,
             naive_gflops: naive,
+            scalar_gflops: scalar,
             blocked_gflops: blocked,
             speedup: blocked / naive,
+            simd_speedup: blocked / scalar,
         });
     }
+
+    let infer = bench_inference(&ds, dim);
+    eprintln!(
+        "  infer ({}): {:.0} traj/s tape-free ({:.2}x vs graphed), \
+         embed p50 {:.0}ns p99 {:.0}ns, index {}B int8 vs {}B f32",
+        infer.simd_dispatch,
+        infer.infer_qps,
+        infer.nograd_speedup,
+        infer.embed_ns_p50,
+        infer.embed_ns_p99,
+        infer.index_bytes,
+        infer.index_f32_bytes,
+    );
 
     let mut table = Table::new(&["Threads", "Steps/s", "Pairs/s", "Speedup"]);
     for r in &training {
@@ -158,6 +266,7 @@ fn main() {
         train_trajectories: ds.train.len(),
         training,
         kernels: kernel_rows,
+        infer,
         metrics: metrics::snapshot(),
         note: "Data-parallel workers run on scoped OS threads; on a single-core host the \
                remaining gain comes from per-chunk padding (each worker pads to its chunk's \

@@ -17,7 +17,7 @@ pub use srn::Srn;
 pub use t3s::T3s;
 pub use tmn::Tmn;
 
-use crate::batch::PairBatch;
+use crate::batch::{PairBatch, SideBatch};
 use tmn_autograd::nn::ParamSet;
 use tmn_autograd::Tensor;
 
@@ -61,6 +61,20 @@ pub trait PairModel {
     /// opt out. Default: supported.
     fn supports_data_parallel(&self) -> bool {
         true
+    }
+
+    /// Tape-free inference: embed each trajectory of `own` into its final
+    /// `d`-dimensional vector (the last-valid-step row of the `[B, m, d]`
+    /// encoding), returned as a flat `[B · d]` buffer. `other` is the paired
+    /// side, consulted only by pair-dependent models (TMN's matching).
+    ///
+    /// Implementations run entirely over plain `Vec<f32>` buffers via
+    /// `tmn_autograd::infer` — zero graph-node allocation — and are
+    /// bitwise-identical to `encode_pairs` + last-step gather. Returns
+    /// `None` when the model has no fast path (evaluation falls back to the
+    /// graphed forward under `no_grad`).
+    fn embed_nograd(&self, _own: &SideBatch, _other: &SideBatch) -> Option<Vec<f32>> {
+        None
     }
 
     fn name(&self) -> &'static str;

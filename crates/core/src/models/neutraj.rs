@@ -16,8 +16,8 @@ use crate::config::ModelConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cell::RefCell;
-use tmn_autograd::nn::{Linear, Lstm, ParamSet};
-use tmn_autograd::{no_grad, ops, Tensor};
+use tmn_autograd::nn::{Linear, Lstm, ParamSet, Recurrent};
+use tmn_autograd::{infer, no_grad, ops, Tensor};
 
 /// LSTM + spatial attention memory.
 pub struct NeuTraj {
@@ -63,8 +63,16 @@ impl NeuTraj {
     /// using the (detached) point embedding prefix as the query.
     fn memory_read(&self, side: &SideBatch, x_detached: &[f32]) -> Vec<f32> {
         let (b, m) = (side.batch_size(), side.max_len);
-        let mem = self.memory.borrow();
         let mut out = vec![0.0f32; b * m * self.dim];
+        self.memory_read_into(side, x_detached, &mut out);
+        out
+    }
+
+    /// [`memory_read`](Self::memory_read) into a caller-owned (pre-zeroed)
+    /// `[b·m·d]` buffer, so the tape-free path can rent it from the pool.
+    fn memory_read_into(&self, side: &SideBatch, x_detached: &[f32], out: &mut [f32]) {
+        let m = side.max_len;
+        let mem = self.memory.borrow();
         for (row, cells) in side.grid_ids.iter().enumerate() {
             for (t, &cell) in cells.iter().enumerate().take(side.lens[row]) {
                 let q = &x_detached[(row * m + t) * self.half..(row * m + t) * self.half + self.half];
@@ -95,7 +103,6 @@ impl NeuTraj {
                 }
             }
         }
-        out
     }
 
     fn encode_side(&self, side: &SideBatch) -> Tensor {
@@ -149,6 +156,23 @@ impl PairModel for NeuTraj {
             self.memory_write(&batch.a, &encoded.out_a);
             self.memory_write(&batch.b, &encoded.out_b);
         });
+    }
+
+    fn embed_nograd(&self, own: &SideBatch, _other: &SideBatch) -> Option<Vec<f32>> {
+        let (bs, m) = (own.batch_size(), own.max_len);
+        let feats = own.feats.data();
+        let mut x = self.embed.forward_nograd(&feats, bs * m);
+        infer::leaky_relu_inplace(&mut x);
+        let mut read = infer::take(bs * m * self.dim);
+        self.memory_read_into(own, &x, &mut read);
+        let lstm_in = infer::concat_cols(&x, &read, bs * m, self.half, self.dim);
+        infer::recycle(read);
+        infer::recycle(x);
+        let seq = self.lstm.forward_seq_nograd(&lstm_in, bs, m);
+        infer::recycle(lstm_in);
+        let out = infer::gather_last(&seq, bs, m, self.dim, &own.last_idx);
+        infer::recycle(seq);
+        Some(out)
     }
 
     /// The spatial attention memory is mutable state outside the `ParamSet`:

@@ -11,8 +11,8 @@ use crate::batch::{PairBatch, SideBatch};
 use crate::config::ModelConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tmn_autograd::nn::{Linear, Lstm, ParamSet};
-use tmn_autograd::{ops, Tensor};
+use tmn_autograd::nn::{Linear, Lstm, ParamSet, Recurrent};
+use tmn_autograd::{infer, ops, Tensor};
 
 /// Siamese LSTM encoder.
 pub struct Srn {
@@ -50,6 +50,18 @@ impl PairModel for Srn {
 
     fn dim(&self) -> usize {
         self.dim
+    }
+
+    fn embed_nograd(&self, own: &SideBatch, _other: &SideBatch) -> Option<Vec<f32>> {
+        let (bs, m) = (own.batch_size(), own.max_len);
+        let feats = own.feats.data();
+        let mut x = self.embed.forward_nograd(&feats, bs * m);
+        infer::leaky_relu_inplace(&mut x);
+        let seq = self.lstm.forward_seq_nograd(&x, bs, m);
+        infer::recycle(x);
+        let out = infer::gather_last(&seq, bs, m, self.dim, &own.last_idx);
+        infer::recycle(seq);
+        Some(out)
     }
 
     fn name(&self) -> &'static str {

@@ -12,8 +12,8 @@ use crate::batch::{PairBatch, SideBatch};
 use crate::config::ModelConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tmn_autograd::nn::{Linear, Lstm, MultiHeadSelfAttention, ParamSet};
-use tmn_autograd::{ops, Tensor};
+use tmn_autograd::nn::{Linear, Lstm, MultiHeadSelfAttention, ParamSet, Recurrent};
+use tmn_autograd::{infer, ops, Tensor};
 
 /// Maximum sequence length supported by the learned positional embedding.
 pub const MAX_POSITIONS: usize = 512;
@@ -107,6 +107,58 @@ impl PairModel for T3s {
 
     fn dim(&self) -> usize {
         self.dim
+    }
+
+    fn embed_nograd(&self, own: &SideBatch, _other: &SideBatch) -> Option<Vec<f32>> {
+        // The multi-head variant has no tape-free path yet.
+        if self.mha.is_some() {
+            return None;
+        }
+        let (bs, m) = (own.batch_size(), own.max_len);
+        assert!(m <= MAX_POSITIONS, "T3S: sequence longer than positional table");
+        let (dh, d) = (self.half, self.dim);
+        let feats = own.feats.data();
+        let mut x = self.embed.forward_nograd(&feats, bs * m);
+        infer::leaky_relu_inplace(&mut x);
+        // Spatial branch.
+        let z = self.lstm.forward_seq_nograd(&x, bs, m);
+        // Structural branch: add positions in place, then self-attention.
+        let pos = self.pos.data();
+        for bi in 0..bs {
+            for t in 0..m {
+                let row = &mut x[(bi * m + t) * dh..(bi * m + t + 1) * dh];
+                for (v, p) in row.iter_mut().zip(&pos[t * dh..(t + 1) * dh]) {
+                    *v += *p;
+                }
+            }
+        }
+        let mask = own.mask.data();
+        let mut scores = infer::bmm_nt(&x, &x, bs, m, dh, m);
+        let inv_sqrt = 1.0 / (dh as f32).sqrt();
+        for v in scores.iter_mut() {
+            *v *= inv_sqrt;
+        }
+        infer::masked_softmax_inplace(&mut scores, &mask, bs, m, m);
+        let mut attn = infer::bmm_nn(&scores, &x, bs, m, m, dh);
+        infer::recycle(scores);
+        infer::mask_rows_inplace(&mut attn, &mask, bs, m, dh);
+        infer::recycle(x);
+        let attn_d = self.attn_proj.forward_nograd(&attn, bs * m);
+        infer::recycle(attn);
+        // Combine: λ·LSTM + (1−λ)·attention, matching the graphed op order.
+        let lam = {
+            let l = self.lambda.data();
+            1.0 / (1.0 + (-l[0]).exp())
+        };
+        let one_minus = -lam + 1.0;
+        let mut seq = z;
+        for (o, a) in seq.iter_mut().zip(&attn_d) {
+            *o = *o * lam + *a * one_minus;
+        }
+        infer::recycle(attn_d);
+        let out = infer::gather_last(&seq, bs, m, d, &own.last_idx);
+        infer::recycle(seq);
+        Some(out)
     }
 
     fn name(&self) -> &'static str {

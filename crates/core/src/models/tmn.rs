@@ -20,7 +20,7 @@ use crate::config::ModelConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tmn_autograd::nn::{Linear, Mlp, ParamSet, Recurrent, RnnKind};
-use tmn_autograd::{ops, Tensor};
+use tmn_autograd::{infer, ops, Tensor};
 
 /// Trajectory Matching Network.
 pub struct Tmn {
@@ -108,6 +108,42 @@ impl PairModel for Tmn {
 
     fn is_pair_dependent(&self) -> bool {
         self.matching
+    }
+
+    fn embed_nograd(&self, own: &SideBatch, other: &SideBatch) -> Option<Vec<f32>> {
+        let (bs, m) = (own.batch_size(), own.max_len);
+        let dh = self.embed.out_dim();
+        let feats = own.feats.data();
+        let mut x_own = self.embed.forward_nograd(&feats, bs * m);
+        infer::leaky_relu_inplace(&mut x_own);
+        let rnn_in = if self.matching {
+            let other_feats = other.feats.data();
+            let mut x_other = self.embed.forward_nograd(&other_feats, bs * m);
+            infer::leaky_relu_inplace(&mut x_other);
+            let mm = infer::matching_matrix(
+                &x_own,
+                &x_other,
+                &own.mask.data(),
+                &other.mask.data(),
+                bs,
+                m,
+                dh,
+            );
+            infer::recycle(x_other);
+            let cat = infer::concat_cols(&x_own, &mm, bs * m, dh, dh);
+            infer::recycle(mm);
+            infer::recycle(x_own);
+            cat
+        } else {
+            x_own
+        };
+        let z = self.rnn.forward_seq_nograd(&rnn_in, bs, m);
+        infer::recycle(rnn_in);
+        let o = self.mlp.forward_nograd(&z, bs * m);
+        infer::recycle(z);
+        let out = infer::gather_last(&o, bs, m, self.dim, &own.last_idx);
+        infer::recycle(o);
+        Some(out)
     }
 
     fn name(&self) -> &'static str {

@@ -5,6 +5,15 @@
 //! TMN's representations are pair-dependent, so a query re-encodes
 //! (query, candidate) pairs — the paper's Table III reflects exactly this
 //! cost asymmetry (0.072 s vs 0.00059 s per-trajectory inference).
+//!
+//! Encoding takes the tape-free fast path ([`PairModel::embed_nograd`])
+//! whenever the model provides one, falling back to the graphed forward
+//! under `no_grad` otherwise. The two are bitwise-identical; the fast path
+//! skips graph-node construction entirely. [`encode_all_graphed`] keeps the
+//! graphed path callable directly so the efficiency study can report model
+//! cost and autograd overhead as separate numbers — earlier revisions
+//! quoted a single per-trajectory figure that silently included graph
+//! construction.
 
 use tmn_autograd::{no_grad, ops};
 use tmn_core::{PairBatch, PairModel};
@@ -19,24 +28,65 @@ pub fn embedding_distance(a: &[f32], b: &[f32]) -> f64 {
 /// Encode each trajectory independently (self-paired batch), returning one
 /// `d`-dim embedding per trajectory. Intended for models with
 /// `is_pair_dependent() == false`.
+///
+/// Uses the model's tape-free fast path when it has one (bitwise-identical
+/// to the graphed forward, zero graph-node allocation); otherwise falls
+/// back to [`encode_all_graphed`]'s per-chunk logic under `no_grad`.
 pub fn encode_all(model: &dyn PairModel, trajs: &[Trajectory], batch_size: usize) -> Vec<Vec<f32>> {
     assert!(batch_size > 0, "encode_all: batch_size must be positive");
     let _prof = profiler::phase("search.encode_all");
     let d = model.dim();
     let mut out = Vec::with_capacity(trajs.len());
+    for chunk in trajs.chunks(batch_size) {
+        let refs: Vec<&Trajectory> = chunk.iter().collect();
+        let batch = PairBatch::build(&refs, &refs);
+        if let Some(flat) = model.embed_nograd(&batch.a, &batch.b) {
+            for row in 0..chunk.len() {
+                out.push(flat[row * d..(row + 1) * d].to_vec());
+            }
+        } else {
+            no_grad(|| encode_chunk_graphed(model, &batch, chunk.len(), &mut out));
+        }
+    }
+    out
+}
+
+/// Encode every trajectory through the *graphed* autograd forward (under
+/// `no_grad`), bypassing any tape-free fast path. The efficiency study
+/// times this against [`encode_all`] to separate model cost from
+/// graph-construction overhead.
+pub fn encode_all_graphed(
+    model: &dyn PairModel,
+    trajs: &[Trajectory],
+    batch_size: usize,
+) -> Vec<Vec<f32>> {
+    assert!(batch_size > 0, "encode_all_graphed: batch_size must be positive");
+    let _prof = profiler::phase("search.encode_all_graphed");
+    let mut out = Vec::with_capacity(trajs.len());
     no_grad(|| {
         for chunk in trajs.chunks(batch_size) {
             let refs: Vec<&Trajectory> = chunk.iter().collect();
             let batch = PairBatch::build(&refs, &refs);
-            let enc = model.encode_pairs(&batch);
-            let last = ops::gather_time(&enc.out_a, &batch.a.last_idx);
-            let data = last.to_vec();
-            for row in 0..chunk.len() {
-                out.push(data[row * d..(row + 1) * d].to_vec());
-            }
+            encode_chunk_graphed(model, &batch, chunk.len(), &mut out);
         }
     });
     out
+}
+
+/// Graphed last-valid-step encoding of one self-paired chunk.
+fn encode_chunk_graphed(
+    model: &dyn PairModel,
+    batch: &PairBatch,
+    rows: usize,
+    out: &mut Vec<Vec<f32>>,
+) {
+    let d = model.dim();
+    let enc = model.encode_pairs(batch);
+    let last = ops::gather_time(&enc.out_a, &batch.a.last_idx);
+    let data = last.to_vec();
+    for row in 0..rows {
+        out.push(data[row * d..(row + 1) * d].to_vec());
+    }
 }
 
 /// Predicted distances from one query to every candidate for a
@@ -51,19 +101,27 @@ pub fn pairwise_query_distances(
     let _prof = profiler::phase("search.pairwise_query");
     let d = model.dim();
     let mut out = Vec::with_capacity(candidates.len());
-    no_grad(|| {
-        for chunk in candidates.chunks(batch_size) {
-            let queries: Vec<&Trajectory> = chunk.iter().map(|_| query).collect();
-            let cands: Vec<&Trajectory> = chunk.iter().collect();
-            let batch = PairBatch::build(&queries, &cands);
+    for chunk in candidates.chunks(batch_size) {
+        let queries: Vec<&Trajectory> = chunk.iter().map(|_| query).collect();
+        let cands: Vec<&Trajectory> = chunk.iter().collect();
+        let batch = PairBatch::build(&queries, &cands);
+        // Fast path: two tape-free passes (one per side of the pair).
+        if let Some(qa) = model.embed_nograd(&batch.a, &batch.b) {
+            let cb = model.embed_nograd(&batch.b, &batch.a).expect("fast path must be symmetric");
+            for row in 0..chunk.len() {
+                out.push(embedding_distance(&qa[row * d..(row + 1) * d], &cb[row * d..(row + 1) * d]));
+            }
+            continue;
+        }
+        no_grad(|| {
             let enc = model.encode_pairs(&batch);
             let qa = ops::gather_time(&enc.out_a, &batch.a.last_idx).to_vec();
             let cb = ops::gather_time(&enc.out_b, &batch.b.last_idx).to_vec();
             for row in 0..chunk.len() {
                 out.push(embedding_distance(&qa[row * d..(row + 1) * d], &cb[row * d..(row + 1) * d]));
             }
-        }
-    });
+        });
+    }
     out
 }
 
@@ -137,6 +195,17 @@ mod tests {
             for (x, y) in a.iter().zip(b) {
                 assert!((x - y).abs() < 1e-5, "batch size changed embeddings");
             }
+        }
+    }
+
+    #[test]
+    fn fast_and_graphed_encodings_are_bitwise_equal() {
+        let ts = trajs(7);
+        for kind in [ModelKind::Srn, ModelKind::T3s, ModelKind::TmnNm, ModelKind::Tmn] {
+            let model = kind.build(&ModelConfig { dim: 8, seed: 6 });
+            let fast = encode_all(model.as_ref(), &ts, 3);
+            let graphed = encode_all_graphed(model.as_ref(), &ts, 3);
+            assert_eq!(fast, graphed, "{kind}: fast path diverged from graphed forward");
         }
     }
 

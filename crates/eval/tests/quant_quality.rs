@@ -1,0 +1,108 @@
+//! Quantization quality gate (Table II harness): an int8 HNSW index with
+//! exact f32 rerank must reproduce the full-precision hitting ratio to
+//! within 0.5% absolute, while storing vectors in ≤ 30% of the f32 bytes.
+//!
+//! Protocol: encode a synthetic clustered dataset with TMN-NM, rank
+//! ground-truth neighbours by DTW (the Table II protocol), then compare
+//! HR@10 of (a) exact f32 linear scan and (b) int8 HNSW shortlist + exact
+//! f32 rerank. The rerank step rescores the shortlist against the exact
+//! embeddings, so with a shortlist a few times k the only quality risk is
+//! a true neighbour falling outside the (slightly perturbed) shortlist.
+//!
+//! Set `TMN_SHORTLIST_SWEEP=1` (with `--nocapture`) to print the HR@10
+//! delta across shortlist sizes — the sweep documented in EXPERIMENTS.md.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tmn_core::{ModelConfig, ModelKind};
+use tmn_eval::{encode_all, EmbeddingStore};
+use tmn_index::HnswConfig;
+use tmn_traj::metrics::{Metric, MetricParams};
+use tmn_traj::{Point, Trajectory};
+
+/// 120 trajectories in 12 loose clusters so nearest neighbours are
+/// well-defined but not degenerate.
+fn clustered_trajs() -> Vec<Trajectory> {
+    let mut out = Vec::new();
+    for c in 0..12u64 {
+        let (cx, cy) = ((c % 4) as f64 * 0.25, (c / 4) as f64 * 0.3);
+        for j in 0..10u64 {
+            let len = 8 + ((c * 10 + j) % 7) as usize;
+            let traj: Trajectory = (0..len)
+                .map(|t| {
+                    let wob = ((c * 131 + j * 17 + t as u64 * 7) % 23) as f64 / 230.0;
+                    Point::new(cx + 0.02 * t as f64 + wob * 0.1, cy + wob)
+                })
+                .collect();
+            out.push(traj);
+        }
+    }
+    out
+}
+
+/// Top-10 database ids (self excluded) from a `(id, dist)` candidate list.
+fn top10_excluding(cands: &[(usize, f64)], q: usize) -> Vec<usize> {
+    cands.iter().map(|&(i, _)| i).filter(|&i| i != q).take(10).collect()
+}
+
+fn overlap10(a: &[usize], b: &[usize]) -> f64 {
+    a.iter().filter(|x| b.contains(x)).count() as f64 / 10.0
+}
+
+#[test]
+fn int8_rerank_reproduces_f32_hitting_ratio() {
+    let trajs = clustered_trajs();
+    let model = ModelKind::TmnNm.build(&ModelConfig { dim: 16, seed: 21 });
+    let emb = encode_all(model.as_ref(), &trajs, 16);
+    let store = EmbeddingStore::from_vectors(&emb);
+
+    // Ground truth: DTW top-10 per query (the Table II protocol).
+    let params = MetricParams::default();
+    let queries: Vec<usize> = (0..trajs.len()).step_by(6).collect(); // 20 queries
+    let truth: Vec<Vec<usize>> = queries
+        .iter()
+        .map(|&q| {
+            let row: Vec<f64> =
+                trajs.iter().map(|t| Metric::Dtw.distance(&trajs[q], t, &params)).collect();
+            tmn_eval::top_k_indices(&row, 10, q)
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(33);
+    let f32_index = store.build_hnsw(HnswConfig::default(), &mut rng);
+    let mut rng = StdRng::seed_from_u64(33);
+    let int8_index = store.build_hnsw_quantized(HnswConfig::default(), &mut rng);
+
+    // Memory: int8 vector storage must be ≤ 30% of f32 (d=16 → 28.1%).
+    let ratio = int8_index.memory_bytes() as f64 / f32_index.memory_bytes() as f64;
+    assert!(ratio <= 0.30, "int8 store is {ratio:.3} of f32, want <= 0.30");
+
+    let shortlist = 60;
+    let (mut hr_f32, mut hr_int8) = (0.0, 0.0);
+    for (qi, &q) in queries.iter().enumerate() {
+        let exact = top10_excluding(&store.knn_exact(&emb[q], 11), q);
+        let reranked = top10_excluding(&store.knn_rerank(&int8_index, &emb[q], 11, shortlist), q);
+        hr_f32 += overlap10(&exact, &truth[qi]);
+        hr_int8 += overlap10(&reranked, &truth[qi]);
+    }
+    hr_f32 /= queries.len() as f64;
+    hr_int8 /= queries.len() as f64;
+    let delta = (hr_f32 - hr_int8).abs();
+    assert!(
+        delta <= 0.005,
+        "HR@10 moved by {delta:.4} under int8+rerank (f32 {hr_f32:.4}, int8 {hr_int8:.4})"
+    );
+
+    if std::env::var("TMN_SHORTLIST_SWEEP").is_ok() {
+        println!("shortlist sweep (HR@10 f32 = {hr_f32:.4}):");
+        for sl in [10, 15, 20, 30, 40, 60, 80] {
+            let mut hr = 0.0;
+            for (qi, &q) in queries.iter().enumerate() {
+                let got = top10_excluding(&store.knn_rerank(&int8_index, &emb[q], 11, sl), q);
+                hr += overlap10(&got, &truth[qi]);
+            }
+            hr /= queries.len() as f64;
+            println!("  shortlist {sl:3}: HR@10 {hr:.4} (delta {:+.4})", hr - hr_f32);
+        }
+    }
+}

@@ -8,10 +8,12 @@
 //!   Table IV.
 //! - [`Hnsw`]: approximate nearest-neighbour graph (Malkov et al.) over the
 //!   learned trajectory embeddings, the index the paper names as
-//!   immediately applicable after embedding (Section I).
+//!   immediately applicable after embedding (Section I). Supports
+//!   full-precision and int8-quantized vector storage (see [`quant`]).
 
 mod hnsw;
 mod kdtree;
+pub mod quant;
 
 pub use hnsw::{Hnsw, HnswConfig};
 pub use kdtree::KdTree;

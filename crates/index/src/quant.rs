@@ -1,0 +1,172 @@
+//! Symmetric per-vector int8 quantization for embedding storage.
+//!
+//! Each `d`-dimensional vector is stored as `d` signed bytes plus one
+//! per-vector scale `s = max|v| / 127` kept as IEEE 754 binary16 bits
+//! (hand-rolled — no half-precision dependency), so a vector costs
+//! `d + 2` bytes instead of `4·d`. Quantization is symmetric (no zero
+//! point): `code = round(v / s)`, `v̂ = code · s`, which keeps the decoder
+//! a single multiply and preserves exact zeros.
+//!
+//! The scale is rounded *through* f16 before the codes are computed, so
+//! the codes are optimal for the scale the decoder will actually use.
+
+/// Convert an `f32` to IEEE 754 binary16 bits (round-to-nearest-even).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // Inf / NaN (quiet bit forced on for NaN).
+        return sign | 0x7c00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if unbiased >= -14 {
+        // Normal half: 10 explicit mantissa bits, 13 shifted out.
+        let m = mant >> 13;
+        let rem = mant & 0x1fff;
+        let mut h = (sign as u32) | (((unbiased + 15) as u32) << 10) | m;
+        if rem > 0x1000 || (rem == 0x1000 && (m & 1) == 1) {
+            h += 1; // carry into the exponent is still a correct rounding
+        }
+        h as u16
+    } else if unbiased >= -24 {
+        // Subnormal half: value = m16 · 2⁻²⁴.
+        let m = 0x0080_0000 | mant; // implicit leading 1 restored
+        let shift = (-unbiased - 1) as u32; // 14..=23
+        let m16 = m >> shift;
+        let rem = m & ((1 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut h = (sign as u32) | m16;
+        if rem > half || (rem == half && (m16 & 1) == 1) {
+            h += 1;
+        }
+        h as u16
+    } else {
+        sign // underflow → ±0
+    }
+}
+
+/// Convert IEEE 754 binary16 bits back to `f32` (exact — every half value
+/// is representable in single precision).
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1f) as u32;
+    let mant = (bits & 0x03ff) as u32;
+    let out = if exp == 0x1f {
+        sign | 0x7f80_0000 | (mant << 13)
+    } else if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal half → normalized single.
+            let mut e: i32 = 113; // 127 − 15 + 1
+            let mut m = mant;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            sign | ((e as u32) << 23) | ((m & 0x03ff) << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(out)
+}
+
+/// Quantize `v` symmetrically into `codes` (same length); returns the
+/// per-vector scale as f16 bits. Vectors whose magnitude rounds to zero in
+/// f16 (including all-zero vectors) get scale 0 and all-zero codes.
+pub fn quantize_into(v: &[f32], codes: &mut [i8]) -> u16 {
+    assert_eq!(v.len(), codes.len(), "quantize_into: length mismatch");
+    let max = v.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    let mut sbits = f32_to_f16_bits(max / 127.0);
+    if sbits == 0x7c00 {
+        sbits = 0x7bff; // clamp overflow to the largest finite half
+    }
+    let scale = f16_bits_to_f32(sbits);
+    if scale == 0.0 {
+        codes.fill(0);
+        return 0;
+    }
+    let inv = 1.0 / scale;
+    for (c, &x) in codes.iter_mut().zip(v) {
+        *c = (x * inv).round().clamp(-127.0, 127.0) as i8;
+    }
+    sbits
+}
+
+/// Decode one vector of `codes` under `scale_bits` into `out`.
+pub fn dequantize_into(codes: &[i8], scale_bits: u16, out: &mut [f32]) {
+    let s = f16_bits_to_f32(scale_bits);
+    for (o, &c) in out.iter_mut().zip(codes) {
+        *o = c as f32 * s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_round_trips_exact_halves() {
+        for x in [0.0f32, 1.0, -1.0, 0.5, 65504.0, -65504.0, 6.103_515_6e-5, 5.960_464_5e-8] {
+            let bits = f32_to_f16_bits(x);
+            assert_eq!(f16_bits_to_f32(bits), x, "{x} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn f16_conversion_accuracy_and_edges() {
+        // Arbitrary f32s land within half-precision ULP (2⁻¹¹ relative).
+        for i in 0..1000 {
+            let x = (i as f32 - 500.0) * 0.0173;
+            let y = f16_bits_to_f32(f32_to_f16_bits(x));
+            assert!((x - y).abs() <= x.abs() * 4.9e-4 + 1e-7, "{x} -> {y}");
+        }
+        assert_eq!(f32_to_f16_bits(1e9), 0x7c00, "overflow must give +inf");
+        assert_eq!(f16_bits_to_f32(0x7c00), f32::INFINITY);
+        assert_eq!(f32_to_f16_bits(1e-10), 0, "underflow must give +0");
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn quantize_reconstructs_within_half_step() {
+        let v: Vec<f32> = (0..64).map(|i| ((i * 37 % 128) as f32 - 64.0) / 17.0).collect();
+        let mut codes = vec![0i8; v.len()];
+        let sbits = quantize_into(&v, &mut codes);
+        let s = f16_bits_to_f32(sbits);
+        let max = v.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        for (&x, &c) in v.iter().zip(&codes) {
+            let err = (x - c as f32 * s).abs();
+            // Half a quantization step, plus the f16 rounding of the scale.
+            assert!(err <= 0.5 * s + max * 5e-4, "err {err} at x={x}");
+        }
+    }
+
+    #[test]
+    fn zero_and_tiny_vectors_get_zero_scale() {
+        let mut codes = vec![7i8; 4];
+        assert_eq!(quantize_into(&[0.0; 4], &mut codes), 0);
+        assert_eq!(codes, vec![0; 4]);
+        let mut codes = vec![7i8; 4];
+        assert_eq!(quantize_into(&[1e-12; 4], &mut codes), 0);
+        assert_eq!(codes, vec![0; 4]);
+    }
+
+    #[test]
+    fn extremes_map_to_full_code_range() {
+        let v = [3.0f32, -3.0, 0.0, 1.5];
+        let mut codes = vec![0i8; 4];
+        let sbits = quantize_into(&v, &mut codes);
+        assert_eq!(codes[0], 127);
+        assert_eq!(codes[1], -127);
+        assert_eq!(codes[2], 0);
+        let mut out = [0.0f32; 4];
+        dequantize_into(&codes, sbits, &mut out);
+        assert!((out[0] - 3.0).abs() < 3.0 * 1e-3);
+    }
+}
