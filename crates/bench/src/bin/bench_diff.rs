@@ -16,7 +16,8 @@
 //! - higher-better: `*per_sec`, `*gflops`, `*speedup`, `*throughput`,
 //!   `*qps*`, `hr*`/`recall*`/`r10*`, `coverage`
 //! - lower-better: `*_ns*` (including percentile leaves like `embed_ns_p99`),
-//!   `*_ms`, `*_s`, `*seconds`, `*wall*`, `*latency*`, `*bytes`, `*time*`
+//!   `*_ms`, `*_s`, `*seconds`, `*wall*`, `*latency*`, `*bytes`, `*time*`,
+//!   `*imbalance*` (max/mean shard occupancy: 1.0 is perfect, growth is skew)
 //! - anything else is informational: reported, never gated (strings such as
 //!   `simd_dispatch` never reach classification — only numeric leaves do).
 //!
@@ -49,7 +50,7 @@ fn classify(path: &str) -> Direction {
     const LOWER_SUFFIX: &[&str] = &["_ns", "_ms", "_s"];
     // `_ns` appears as a substring too so percentile leaves (`embed_ns_p99`)
     // gate as latencies even though they don't *end* with the unit.
-    const LOWER_SUBSTR: &[&str] = &["seconds", "wall", "latency", "bytes", "time", "_ns"];
+    const LOWER_SUBSTR: &[&str] = &["seconds", "wall", "latency", "bytes", "time", "_ns", "imbalance"];
     if LOWER_SUFFIX.iter().any(|t| leaf.ends_with(t))
         || LOWER_SUBSTR.iter().any(|t| leaf.contains(t))
     {
@@ -374,6 +375,22 @@ mod tests {
         assert_eq!(classify("gauges[0].train_peak_bytes"), Direction::LowerBetter);
         assert_eq!(classify("host_cores"), Direction::Info);
         assert_eq!(classify("dim"), Direction::Info);
+    }
+
+    #[test]
+    fn serve_section_classification() {
+        // The serving block of BENCH_throughput.json gates in the intended
+        // directions: throughputs up, latencies and skew down, shape info.
+        assert_eq!(classify("serve.insert_qps"), Direction::HigherBetter);
+        assert_eq!(classify("serve.batch_qps"), Direction::HigherBetter);
+        assert_eq!(classify("serve.query_p50_ns"), Direction::LowerBetter);
+        assert_eq!(classify("serve.query_p99_ns"), Direction::LowerBetter);
+        assert_eq!(classify("serve.shard_imbalance"), Direction::LowerBetter);
+        assert_eq!(classify("serve.shards"), Direction::Info);
+        assert_eq!(classify("serve.corpus"), Direction::Info);
+        // Gauges exported through the metrics snapshot classify the same way.
+        assert_eq!(classify("metrics.gauges[0].shard_imbalance"), Direction::LowerBetter);
+        assert_eq!(classify("metrics.gauges[1].serve_batch_size"), Direction::Info);
     }
 
     #[test]

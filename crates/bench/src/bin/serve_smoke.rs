@@ -1,0 +1,92 @@
+//! CI smoke for the serving engine: drive one `ServeEngine` through its
+//! whole lifecycle — insert → query → delete → query → fault → degraded
+//! serving → cache corruption → recovery → status → shutdown — and fail
+//! loudly if any step misbehaves.
+//!
+//! Runs in a couple of seconds; wired into `scripts/ci.sh` after
+//! `resume_smoke`.
+
+use tmn_core::{ModelConfig, ModelKind};
+use tmn_obs::{export, metrics};
+use tmn_serve::{ServeConfig, ServeEngine, ServeError, ShardSetConfig};
+use tmn_traj::{Point, Trajectory};
+
+fn traj(seed: u64, len: usize) -> Trajectory {
+    let pts = (0..len)
+        .map(|i| {
+            let h = tmn_index::splitmix64(seed * 131 + i as u64);
+            Point::new((h % 1000) as f64 / 1000.0, ((h >> 10) % 1000) as f64 / 1000.0)
+        })
+        .collect();
+    Trajectory::new(pts)
+}
+
+fn main() {
+    metrics::set_enabled(true);
+    metrics::reset();
+
+    // Full TMN is pair-dependent: the engine must refuse it up front.
+    let rejected = ServeEngine::start(
+        ModelKind::Tmn,
+        &ModelConfig { dim: 16, seed: 9 },
+        ServeConfig::default(),
+    );
+    assert!(
+        matches!(rejected, Err(ServeError::PairDependentModel(_))),
+        "pair-dependent model must be rejected"
+    );
+
+    let engine = ServeEngine::start(
+        ModelKind::TmnNm,
+        &ModelConfig { dim: 16, seed: 9 },
+        ServeConfig {
+            shard: ShardSetConfig { shards: 3, shortlist: 48, ..Default::default() },
+            max_batch: 16,
+        },
+    )
+    .expect("start serve engine");
+    let h = engine.handle();
+
+    // Insert, then query: each corpus trajectory is its own nearest
+    // neighbour at ~zero distance.
+    for id in 0..64u64 {
+        h.insert(id, traj(id, 12)).expect("insert");
+    }
+    let top = h.query(traj(17, 12), 5).expect("query");
+    assert_eq!(top[0].0, 17, "self-NN failed: {top:?}");
+    assert!(top[0].1 <= 1e-6, "self-distance {} not ~0", top[0].1);
+
+    // Delete, then query: the id must be gone everywhere.
+    assert!(h.delete(17).expect("delete"), "delete of live id returned false");
+    let after = h.query(traj(17, 12), 64).expect("query after delete");
+    assert!(after.iter().all(|&(id, _)| id != 17), "deleted id resurfaced");
+    assert_eq!(h.query_id(17, 5), Err(ServeError::UnknownId(17)), "deleted id still queryable");
+
+    // Corrupt the warm cache; the checksum must catch it and the engine
+    // recompute instead of serving garbage.
+    let clean = h.query_id(23, 5).expect("by-id query");
+    assert!(h.corrupt_cache(23).expect("corrupt hook"), "id 23 was not cached");
+    assert_eq!(h.query_id(23, 5).expect("post-corruption query"), clean, "corrupt cache served");
+
+    // Poison one shard the way a crashed writer would; the engine keeps
+    // serving from the remaining shards and reports degraded mode.
+    eprintln!("injecting shard fault (the panic printed below is expected and caught):");
+    engine.shards().fault_poison(1);
+    let status = h.status().expect("status");
+    assert!(status.degraded_mode, "degraded mode not reported");
+    assert!(status.to_json().contains("\"degraded_mode\":true"));
+    let degraded_hits = h.query(traj(3, 12), 5).expect("degraded query");
+    assert!(!degraded_hits.is_empty(), "engine went dark in degraded mode");
+
+    // The gauges flow through the Prometheus exporter.
+    let prom = export::to_prometheus(&metrics::snapshot());
+    for needle in ["tmn_serve_degraded_shards 1", "tmn_shard_imbalance", "tmn_serve_batch_size"] {
+        assert!(prom.contains(needle), "exposition lacks {needle}:\n{prom}");
+    }
+
+    engine.shutdown();
+    println!(
+        "serve smoke OK: lifecycle, degraded-mode serving ({} healthy shards), cache recovery",
+        status.shards.shards.iter().filter(|s| !s.degraded).count()
+    );
+}

@@ -66,6 +66,25 @@ struct InferRow {
 }
 
 #[derive(serde::Serialize)]
+struct ServeRow {
+    shards: usize,
+    corpus: usize,
+    /// Vector-level inserts/second into the sharded incremental index
+    /// (single writer; includes graph linking and any triggered compaction).
+    insert_qps: f64,
+    /// End-to-end engine queries/second through admission batching —
+    /// includes the amortized `embed_nograd` forward, the scatter-gather
+    /// shortlist and the exact rerank.
+    batch_qps: f64,
+    /// Data-plane query latency percentiles measured *under concurrent
+    /// writer churn* (a writer thread inserts/deletes throughout).
+    query_p50_ns: f64,
+    query_p99_ns: f64,
+    /// max/mean live shard occupancy after the run (1.0 = balanced).
+    shard_imbalance: f64,
+}
+
+#[derive(serde::Serialize)]
 struct Report {
     host_cores: usize,
     batch_pairs: usize,
@@ -74,6 +93,7 @@ struct Report {
     training: Vec<TrainRow>,
     kernels: Vec<KernelRow>,
     infer: InferRow,
+    serve: ServeRow,
     /// Training-side metrics registry at end of run (`train_batch_ns`
     /// histogram, batch counter, wall/memory gauges) — the payload
     /// `bench_diff` gates across two captures.
@@ -170,6 +190,104 @@ fn bench_inference(ds: &Dataset, dim: usize) -> InferRow {
     }
 }
 
+/// Benchmark the serving engine: single-writer insert throughput, query
+/// latency percentiles while a churn writer races the reader, and
+/// end-to-end admission-batched queries through a live `ServeEngine`.
+fn bench_serve(ds: &Dataset, dim: usize) -> ServeRow {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use tmn_serve::{ServeConfig, ServeEngine, ShardSet, ShardSetConfig};
+
+    let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(2, 4);
+    let corpus = 1500u64;
+    let vec_for = move |id: u64, ver: u64| -> Vec<f32> {
+        (0..dim)
+            .map(|d| (tmn_index::splitmix64(id * 31 + ver * 977 + d as u64) % 1000) as f32 / 1000.0)
+            .collect()
+    };
+
+    // Phase 1: single-writer insert throughput into the sharded index.
+    let set = Arc::new(ShardSet::new(
+        dim,
+        ShardSetConfig { shards, shortlist: 64, ..Default::default() },
+    ));
+    let t0 = Instant::now();
+    for id in 0..corpus {
+        set.insert(id, &vec_for(id, 0)).expect("serve bench insert");
+    }
+    let insert_qps = corpus as f64 / t0.elapsed().as_secs_f64();
+
+    // Phase 2: query percentiles under concurrent writer churn.
+    let done = Arc::new(AtomicBool::new(false));
+    let churn = {
+        let set = Arc::clone(&set);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut ver = 1u64;
+            while !done.load(Ordering::Relaxed) {
+                for id in corpus..corpus + 64 {
+                    let _ = set.insert(id, &vec_for(id, ver));
+                }
+                for id in (corpus..corpus + 64).step_by(2) {
+                    let _ = set.delete(id);
+                }
+                ver += 1;
+            }
+        })
+    };
+    let mut samples: Vec<f64> = Vec::with_capacity(400);
+    for qi in 0..400u64 {
+        let q = vec_for(1_000_000 + qi, 0);
+        let t0 = Instant::now();
+        let hits = set.query(&q, 10).expect("serve bench query");
+        samples.push(t0.elapsed().as_nanos() as f64);
+        std::hint::black_box(&hits);
+    }
+    done.store(true, Ordering::Relaxed);
+    churn.join().expect("churn writer panicked");
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: usize| samples[(samples.len() * p / 100).min(samples.len() - 1)];
+    let (query_p50_ns, query_p99_ns) = (pct(50), pct(99));
+    let shard_imbalance = set.status().shard_imbalance;
+
+    // Phase 3: end-to-end admission-batched queries through the engine
+    // (TMN-NM: the full model is pair-dependent and cannot sit behind a
+    // vector index; the ablation keeps its independent-embedding RNN).
+    let engine = ServeEngine::start(
+        ModelKind::TmnNm,
+        &ModelConfig { dim, seed: 42 },
+        ServeConfig {
+            shard: ShardSetConfig { shards, shortlist: 64, ..Default::default() },
+            max_batch: 16,
+        },
+    )
+    .expect("serve engine start");
+    let handle = engine.handle();
+    let n_corpus = ds.test.len().min(128);
+    for (i, t) in ds.test.iter().take(n_corpus).enumerate() {
+        handle.insert(i as u64, t.clone()).expect("engine insert");
+    }
+    let total_queries = 256usize;
+    let batch: Vec<_> = ds.test.iter().take(16).cloned().collect();
+    let t0 = Instant::now();
+    for _ in 0..total_queries / batch.len() {
+        let res = handle.query_batch(batch.clone(), 10).expect("engine batch query");
+        std::hint::black_box(&res);
+    }
+    let batch_qps = total_queries as f64 / t0.elapsed().as_secs_f64();
+    engine.shutdown();
+
+    ServeRow {
+        shards,
+        corpus: corpus as usize,
+        insert_qps,
+        batch_qps,
+        query_p50_ns,
+        query_p99_ns,
+        shard_imbalance,
+    }
+}
+
 fn main() {
     let scale = Scale::from_args();
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -247,6 +365,19 @@ fn main() {
         infer.index_f32_bytes,
     );
 
+    let serve = bench_serve(&ds, dim);
+    eprintln!(
+        "  serve ({} shards, {} vectors): {:.0} inserts/s, {:.0} batched q/s end-to-end, \
+         query p50 {:.0}ns p99 {:.0}ns under churn, imbalance {:.3}",
+        serve.shards,
+        serve.corpus,
+        serve.insert_qps,
+        serve.batch_qps,
+        serve.query_p50_ns,
+        serve.query_p99_ns,
+        serve.shard_imbalance,
+    );
+
     let mut table = Table::new(&["Threads", "Steps/s", "Pairs/s", "Speedup"]);
     for r in &training {
         table.row(&[
@@ -267,6 +398,7 @@ fn main() {
         training,
         kernels: kernel_rows,
         infer,
+        serve,
         metrics: metrics::snapshot(),
         note: "Data-parallel workers run on scoped OS threads; on a single-core host the \
                remaining gain comes from per-chunk padding (each worker pads to its chunk's \

@@ -4,7 +4,7 @@
 //! Format (little-endian): magic `TMNE` | version u32 | dim u32 | count u32
 //! | `count * dim` f32 values.
 
-use tmn_index::{Hnsw, HnswConfig};
+use tmn_index::{AnnIndex, Hnsw, HnswConfig, ShardedHnsw};
 
 const MAGIC: &[u8; 4] = b"TMNE";
 const VERSION: u32 = 1;
@@ -101,15 +101,51 @@ impl EmbeddingStore {
         index
     }
 
+    /// Build a sharded HNSW over the stored embeddings: each index `i` is
+    /// routed to its shard by the stable id→shard router, and queries
+    /// scatter-gather across shards (the serving layout). Pair with
+    /// [`knn_rerank`](EmbeddingStore::knn_rerank), which is index-agnostic.
+    pub fn build_hnsw_sharded(
+        &self,
+        config: HnswConfig,
+        shards: usize,
+        rng: &mut impl rand::Rng,
+    ) -> ShardedHnsw {
+        let mut index = ShardedHnsw::new(self.dim.max(1), config, shards);
+        for i in 0..self.len() {
+            index.insert(i, self.get(i), rng);
+        }
+        index
+    }
+
+    /// [`build_hnsw_sharded`](EmbeddingStore::build_hnsw_sharded) with
+    /// int8-quantized per-shard storage.
+    pub fn build_hnsw_quantized_sharded(
+        &self,
+        config: HnswConfig,
+        shards: usize,
+        rng: &mut impl rand::Rng,
+    ) -> ShardedHnsw {
+        let mut index = ShardedHnsw::new_quantized(self.dim.max(1), config, shards);
+        for i in 0..self.len() {
+            index.insert(i, self.get(i), rng);
+        }
+        index
+    }
+
     /// Approximate top-k with exact rerank: fetch a `shortlist`-sized
     /// candidate set from `index` (beam width = shortlist), then re-score
     /// every candidate against the store's full-precision embeddings and
     /// return the best `k` as `(index, distance)` ascending. With a
     /// shortlist a few times `k`, this reproduces exact-f32 ranking even
     /// over a quantized index.
+    ///
+    /// `index` is any [`AnnIndex`] — a single [`Hnsw`] or a [`ShardedHnsw`]
+    /// whose shortlist is the scatter-gather merge across shards. (Earlier
+    /// revisions took `&Hnsw` only, baking in a single-shard assumption.)
     pub fn knn_rerank(
         &self,
-        index: &Hnsw,
+        index: &impl AnnIndex,
         query: &[f32],
         k: usize,
         shortlist: usize,

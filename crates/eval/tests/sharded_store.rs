@@ -1,0 +1,92 @@
+//! Regression tests for the single-shard assumption that used to live in
+//! `EmbeddingStore::knn_rerank`: the shortlist now flows through the
+//! `AnnIndex` abstraction, so a sharded index's scatter-gather merge feeds
+//! the same exact-rerank path — and a `k` whose true members straddle
+//! multiple shards must come back globally correct.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tmn_eval::EmbeddingStore;
+use tmn_index::{AnnIndex, HnswConfig, ShardRouter};
+
+/// Deterministic scattered vectors (no clusters aligned with shards).
+fn vectors(n: usize, dim: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|d| (((i + 1) * (d + 7) * 2654435761_usize) % 1000) as f32 / 1000.0)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn topk_straddling_two_shards_is_globally_correct() {
+    let dim = 6;
+    let store = EmbeddingStore::from_vectors(&vectors(400, dim));
+    let mut rng = StdRng::seed_from_u64(17);
+    let config = HnswConfig { m: 12, ef_construction: 120, ef_search: 80 };
+    let index = store.build_hnsw_sharded(config, 2, &mut rng);
+    assert_eq!(index.shards(), 2);
+
+    let router = ShardRouter::new(2);
+    let k = 10;
+    let mut checked_straddling = 0usize;
+    for qi in 0..40 {
+        let q: Vec<f32> = (0..dim).map(|d| ((qi * 13 + d * 29) % 100) as f32 / 100.0).collect();
+        let exact = store.knn_exact(&q, k);
+        // Only interesting when the true top-k actually straddles shards.
+        let shard0 = exact.iter().filter(|&&(i, _)| router.shard_of(i as u64) == 0).count();
+        if shard0 > 0 && shard0 < k {
+            checked_straddling += 1;
+        }
+        let reranked = store.knn_rerank(&index, &q, k, 400);
+        assert_eq!(
+            reranked, exact,
+            "query {qi}: sharded rerank diverged from the exact oracle"
+        );
+    }
+    assert!(
+        checked_straddling >= 30,
+        "test vacuous: only {checked_straddling}/40 queries straddled both shards"
+    );
+}
+
+#[test]
+fn quantized_sharded_rerank_matches_exact_topk() {
+    let dim = 8;
+    let store = EmbeddingStore::from_vectors(&vectors(300, dim));
+    let mut rng = StdRng::seed_from_u64(23);
+    let config = HnswConfig { m: 12, ef_construction: 120, ef_search: 80 };
+    let index = store.build_hnsw_quantized_sharded(config, 3, &mut rng);
+    assert!(index.is_quantized());
+
+    let (mut hits, mut total) = (0usize, 0usize);
+    for qi in 0..20 {
+        let q: Vec<f32> = (0..dim).map(|d| ((qi * 31 + d * 17) % 100) as f32 / 100.0).collect();
+        let exact: Vec<usize> = store.knn_exact(&q, 10).into_iter().map(|(i, _)| i).collect();
+        let reranked = store.knn_rerank(&index, &q, 10, 150);
+        let ids: Vec<usize> = reranked.iter().map(|&(i, _)| i).collect();
+        total += exact.len();
+        hits += exact.iter().filter(|i| ids.contains(i)).count();
+        // Rerank distances are exact f32 distances, shard-independent.
+        for &(i, d) in &reranked {
+            assert_eq!(d, tmn_eval::embedding_distance(&q, store.get(i)));
+        }
+    }
+    let hr = hits as f64 / total as f64;
+    assert!(hr >= 0.995, "quantized sharded HR@10 {hr} below the 0.5% gate");
+}
+
+#[test]
+fn single_hnsw_still_works_through_the_generic_path() {
+    // The old callers (single index) compile and behave unchanged.
+    let store = EmbeddingStore::from_vectors(&vectors(120, 4));
+    let mut rng = StdRng::seed_from_u64(29);
+    let index = store.build_hnsw(HnswConfig::default(), &mut rng);
+    let q = [0.3f32, 0.5, 0.1, 0.9];
+    let exact = store.knn_exact(&q, 5);
+    let reranked = store.knn_rerank(&index, &q, 5, 120);
+    assert_eq!(reranked, exact);
+    assert_eq!(AnnIndex::len(&index), 120);
+}

@@ -67,11 +67,22 @@ enum VectorStore {
 }
 
 /// An HNSW index over vectors of a fixed dimension.
+///
+/// Supports incremental deletion via tombstones: a removed node stays in the
+/// graph as a navigable waypoint (its edges keep the small world connected)
+/// but never appears in search results, and [`knn_ef`](Hnsw::knn_ef) widens
+/// its beam by the tombstone ratio so the *live* shortlist stays as large as
+/// the caller asked for. Callers that churn heavily should rebuild once
+/// tombstones dominate (see `tmn-serve`'s per-shard compaction).
 pub struct Hnsw {
     config: HnswConfig,
     dim: usize,
     store: VectorStore,
     nodes: Vec<HnswNode>,
+    /// Tombstone flags, indexed like `nodes`.
+    deleted: Vec<bool>,
+    /// Count of non-tombstoned nodes.
+    live: usize,
     entry: Option<usize>,
     max_level: usize,
     level_mult: f64,
@@ -101,6 +112,8 @@ impl Hnsw {
             dim,
             store,
             nodes: Vec::new(),
+            deleted: Vec::new(),
+            live: 0,
             entry: None,
             max_level: 0,
             level_mult: 1.0 / (config.m as f64).ln(),
@@ -123,12 +136,40 @@ impl Hnsw {
         }
     }
 
+    /// Total node count, tombstones included (ids are `0..len()`).
     pub fn len(&self) -> usize {
         self.nodes.len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Nodes that are still searchable (not tombstoned).
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// Tombstoned node count; rebuild when this dominates [`len`](Hnsw::len).
+    pub fn tombstones(&self) -> usize {
+        self.nodes.len() - self.live
+    }
+
+    /// Whether `id` has been removed (out-of-range ids read as deleted).
+    pub fn is_deleted(&self, id: usize) -> bool {
+        self.deleted.get(id).copied().unwrap_or(true)
+    }
+
+    /// Tombstone a vector: it vanishes from every future search result but
+    /// stays in the graph as a navigation waypoint. Returns `false` if the
+    /// id is unknown or already deleted. O(1).
+    pub fn remove(&mut self, id: usize) -> bool {
+        if id >= self.nodes.len() || self.deleted[id] {
+            return false;
+        }
+        self.deleted[id] = true;
+        self.live -= 1;
+        true
     }
 
     pub fn dim(&self) -> usize {
@@ -182,6 +223,8 @@ impl Hnsw {
         }
         let level = (-rng.gen_range(f64::MIN_POSITIVE..1.0).ln() * self.level_mult) as usize;
         self.nodes.push(HnswNode { neighbours: vec![Vec::new(); level + 1] });
+        self.deleted.push(false);
+        self.live += 1;
 
         let Some(mut cur) = self.entry else {
             self.entry = Some(id);
@@ -195,10 +238,20 @@ impl Hnsw {
         }
         // Insert with beam search on each layer from min(level, max_level) down.
         for l in (0..=level.min(self.max_level)).rev() {
-            let candidates = self.search_layer(v, cur, l, self.config.ef_construction);
+            let candidates = self.search_layer(v, cur, l, self.config.ef_construction, true);
             let m_max = if l == 0 { self.config.m * 2 } else { self.config.m };
-            let selected: Vec<usize> =
-                candidates.iter().take(self.config.m).map(|&(_, i)| i).collect();
+            // Prefer live neighbours so new edges don't waste slots on
+            // tombstones; fall back to tombstoned waypoints only when the
+            // layer has too few live candidates to stay connected.
+            let mut selected: Vec<usize> = candidates
+                .iter()
+                .filter(|&&(_, i)| !self.deleted[i])
+                .take(self.config.m)
+                .map(|&(_, i)| i)
+                .collect();
+            if selected.is_empty() {
+                selected.extend(candidates.iter().take(self.config.m).map(|&(_, i)| i));
+            }
             for &nb in &selected {
                 self.nodes[id].neighbours[l].push(nb);
                 self.nodes[nb].neighbours[l].push(id);
@@ -246,17 +299,34 @@ impl Hnsw {
     }
 
     /// Beam search on one layer; returns up to `ef` `(dist_sq, id)` pairs
-    /// sorted ascending.
-    fn search_layer(&self, query: &[f32], entry: usize, layer: usize, ef: usize) -> Vec<(f32, usize)> {
+    /// sorted ascending. With `include_deleted = false`, tombstoned nodes
+    /// still steer the traversal (the frontier walks through them) but are
+    /// excluded from the result list — the standard filtered-HNSW scheme.
+    fn search_layer(
+        &self,
+        query: &[f32],
+        entry: usize,
+        layer: usize,
+        ef: usize,
+        include_deleted: bool,
+    ) -> Vec<(f32, usize)> {
         let mut visited = vec![false; self.nodes.len()];
         visited[entry] = true;
         let d0 = self.dist_to(query, entry);
         let mut frontier = BinaryHeap::new(); // pops nearest first
         frontier.push(Candidate { dist: d0, id: entry });
-        let mut results: Vec<(f32, usize)> = vec![(d0, entry)];
+        let mut results: Vec<(f32, usize)> = if include_deleted || !self.deleted[entry] {
+            vec![(d0, entry)]
+        } else {
+            Vec::new()
+        };
         while let Some(Candidate { dist, id }) = frontier.pop() {
-            let worst = results.last().map(|r| r.0).unwrap_or(f32::INFINITY);
-            if results.len() >= ef && dist > worst {
+            let worst = if results.len() >= ef {
+                results.last().map(|r| r.0).unwrap_or(f32::INFINITY)
+            } else {
+                f32::INFINITY
+            };
+            if dist > worst {
                 break;
             }
             for &nb in &self.nodes[id].neighbours[layer] {
@@ -265,13 +335,19 @@ impl Hnsw {
                 }
                 visited[nb] = true;
                 let d = self.dist_to(query, nb);
-                let worst = results.last().map(|r| r.0).unwrap_or(f32::INFINITY);
-                if results.len() < ef || d < worst {
+                let worst = if results.len() >= ef {
+                    results.last().map(|r| r.0).unwrap_or(f32::INFINITY)
+                } else {
+                    f32::INFINITY
+                };
+                if d < worst {
                     frontier.push(Candidate { dist: d, id: nb });
-                    let pos = results.partition_point(|r| r.0 < d);
-                    results.insert(pos, (d, nb));
-                    if results.len() > ef {
-                        results.pop();
+                    if include_deleted || !self.deleted[nb] {
+                        let pos = results.partition_point(|r| r.0 < d);
+                        results.insert(pos, (d, nb));
+                        if results.len() > ef {
+                            results.pop();
+                        }
                     }
                 }
             }
@@ -285,19 +361,26 @@ impl Hnsw {
         self.knn_ef(query, k, self.config.ef_search)
     }
 
-    /// `knn` with an explicit beam width `ef >= k`.
+    /// `knn` with an explicit beam width `ef >= k`. Tombstoned vectors never
+    /// appear in the result; the beam is widened by the tombstone ratio
+    /// (shortlist compensation) so the *live* candidate pool stays as large
+    /// as the caller requested and recall holds under churn.
     pub fn knn_ef(&self, query: &[f32], k: usize, ef: usize) -> Vec<(usize, f32)> {
         assert_eq!(query.len(), self.dim, "Hnsw: query dimension mismatch");
         let Some(mut cur) = self.entry else {
             return Vec::new();
         };
-        if k == 0 {
+        if k == 0 || self.live == 0 {
             return Vec::new();
+        }
+        let mut ef = ef.max(k);
+        if self.live < self.nodes.len() {
+            ef = (ef * self.nodes.len()).div_ceil(self.live).min(self.nodes.len());
         }
         for l in (1..=self.max_level).rev() {
             cur = self.greedy_closest(query, cur, l);
         }
-        let mut res = self.search_layer(query, cur, 0, ef.max(k));
+        let mut res = self.search_layer(query, cur, 0, ef, false);
         res.truncate(k);
         res.into_iter().map(|(d, i)| (i, d.sqrt())).collect()
     }

@@ -14,6 +14,8 @@
 mod hnsw;
 mod kdtree;
 pub mod quant;
+mod sharded;
 
 pub use hnsw::{Hnsw, HnswConfig};
 pub use kdtree::KdTree;
+pub use sharded::{merge_topk, splitmix64, AnnIndex, ShardRouter, ShardedHnsw};

@@ -1,0 +1,491 @@
+//! The request plane: one engine thread owning the model, corpus, and warm
+//! embedding cache, fed by an admission queue.
+//!
+//! The models are built from `Rc`-based tensors and are deliberately
+//! `!Send`, so the engine thread *builds* its own model from
+//! (`ModelKind`, `ModelConfig`) rather than receiving one. Everything that
+//! crosses the channel is plain data: trajectories in, `(id, distance)`
+//! lists out.
+//!
+//! Admission batching: the loop blocks on one request, then drains whatever
+//! else is already queued (up to `max_batch`). Every trajectory that needs
+//! an embedding across the drained batch — inserts and ad-hoc queries alike
+//! — goes through a *single* [`encode_all`] call, so the fused-RNN
+//! `embed_nograd` forward amortizes over the whole admission window instead
+//! of running once per request.
+
+use crate::shard::{ShardSet, ShardSetConfig, ShardSetStatus};
+use crate::{
+    ServeError, SERVE_BATCH_SIZE, SERVE_CACHE_CORRUPT_TOTAL, SERVE_CACHE_HITS_TOTAL,
+    SERVE_QUERIES_TOTAL,
+};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use tmn_core::{ModelConfig, ModelKind, PairModel};
+use tmn_eval::encode_all;
+use tmn_obs::metrics;
+use tmn_traj::Trajectory;
+
+/// Request-plane configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    pub shard: ShardSetConfig,
+    /// Admission window: how many queued requests one engine iteration
+    /// drains (and therefore how many embeddings one forward amortizes).
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig { shard: ShardSetConfig::default(), max_batch: 32 }
+    }
+}
+
+type Reply<T> = mpsc::Sender<Result<T, ServeError>>;
+
+enum Req {
+    Insert { id: u64, traj: Trajectory, reply: Reply<()> },
+    Delete { id: u64, reply: Reply<bool> },
+    Query { traj: Trajectory, k: usize, reply: Reply<Vec<(u64, f64)>> },
+    QueryBatch { trajs: Vec<Trajectory>, k: usize, reply: Reply<Vec<Vec<(u64, f64)>>> },
+    QueryId { id: u64, k: usize, reply: Reply<Vec<(u64, f64)>> },
+    Status { reply: Reply<EngineStatus> },
+    CorruptCache { id: u64, reply: Reply<bool> },
+    Shutdown,
+}
+
+/// A cached embedding plus the checksum taken when it was computed. The
+/// checksum is verified on every read; a mismatch means the bytes rotted
+/// (or a fault test flipped them) and the entry must not be served.
+struct CacheEntry {
+    vec: Vec<f32>,
+    sum: u64,
+}
+
+impl CacheEntry {
+    fn new(vec: Vec<f32>) -> CacheEntry {
+        let sum = checksum(&vec);
+        CacheEntry { vec, sum }
+    }
+
+    fn valid(&self) -> bool {
+        checksum(&self.vec) == self.sum
+    }
+}
+
+/// FNV-1a over the embedding's f32 bit patterns.
+fn checksum(v: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in v {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Point-in-time engine snapshot, JSON-serializable for scrapers.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineStatus {
+    pub model: String,
+    pub dim: usize,
+    /// Trajectories retained for cache recovery.
+    pub corpus: usize,
+    /// Warm embeddings currently cached.
+    pub cache_entries: usize,
+    pub shards: ShardSetStatus,
+    /// True while any shard is fenced off; the engine is still serving,
+    /// from the remaining shards.
+    pub degraded_mode: bool,
+}
+
+impl EngineStatus {
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("EngineStatus is always serializable")
+    }
+}
+
+/// Cheap clonable front door to the engine thread. Methods block until the
+/// engine replies; any number of threads may hold handles.
+#[derive(Clone)]
+pub struct ServeHandle {
+    tx: mpsc::Sender<Req>,
+    shards: Arc<ShardSet>,
+}
+
+impl ServeHandle {
+    fn call<T>(&self, make: impl FnOnce(Reply<T>) -> Req) -> Result<T, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.tx.send(make(tx)).map_err(|_| ServeError::EngineDown)?;
+        rx.recv().map_err(|_| ServeError::EngineDown)?
+    }
+
+    /// Insert (or re-insert) trajectory `id`. A re-insert replaces the
+    /// stored embedding and invalidates the cached one.
+    pub fn insert(&self, id: u64, traj: Trajectory) -> Result<(), ServeError> {
+        self.call(|reply| Req::Insert { id, traj, reply })
+    }
+
+    /// Delete trajectory `id`; `Ok(false)` when it was not live.
+    pub fn delete(&self, id: u64) -> Result<bool, ServeError> {
+        self.call(|reply| Req::Delete { id, reply })
+    }
+
+    /// Top-`k` most similar corpus trajectories to an ad-hoc query
+    /// trajectory, as `(id, embedding distance)` ascending.
+    pub fn query(&self, traj: Trajectory, k: usize) -> Result<Vec<(u64, f64)>, ServeError> {
+        self.call(|reply| Req::Query { traj, k, reply })
+    }
+
+    /// Batched [`query`](ServeHandle::query): all embeddings computed in
+    /// one forward.
+    pub fn query_batch(
+        &self,
+        trajs: Vec<Trajectory>,
+        k: usize,
+    ) -> Result<Vec<Vec<(u64, f64)>>, ServeError> {
+        self.call(|reply| Req::QueryBatch { trajs, k, reply })
+    }
+
+    /// Top-`k` for a trajectory already in the corpus, served from the warm
+    /// embedding cache when its checksum verifies (recomputed via
+    /// `embed_nograd` when it does not).
+    pub fn query_id(&self, id: u64, k: usize) -> Result<Vec<(u64, f64)>, ServeError> {
+        self.call(|reply| Req::QueryId { id, k, reply })
+    }
+
+    pub fn status(&self) -> Result<EngineStatus, ServeError> {
+        self.call(|reply| Req::Status { reply })
+    }
+
+    /// Fault-injection hook: flip one bit of `id`'s cached embedding
+    /// without touching its checksum. `Ok(false)` when nothing was cached.
+    pub fn corrupt_cache(&self, id: u64) -> Result<bool, ServeError> {
+        self.call(|reply| Req::CorruptCache { id, reply })
+    }
+
+    /// Direct access to the vector-level data plane (bypasses the model;
+    /// used by stress tests and by callers that precompute embeddings).
+    pub fn shards(&self) -> &Arc<ShardSet> {
+        &self.shards
+    }
+}
+
+/// The serving engine: owns the worker thread. Dropping it (or calling
+/// [`shutdown`](ServeEngine::shutdown)) stops the thread after the
+/// in-flight admission batch drains.
+pub struct ServeEngine {
+    handle: ServeHandle,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Spawn the engine thread for `kind`. Pair-dependent models (full TMN)
+    /// are rejected up front: their representations depend on the paired
+    /// candidate, so a precomputed vector index cannot serve them — use
+    /// [`ModelKind::TmnNm`] (the paper's ablation keeps 99%+ of the
+    /// quality) or any other independent-embedding model.
+    pub fn start(
+        kind: ModelKind,
+        mcfg: &ModelConfig,
+        cfg: ServeConfig,
+    ) -> Result<ServeEngine, ServeError> {
+        if kind == ModelKind::Tmn {
+            return Err(ServeError::PairDependentModel(kind.name()));
+        }
+        let shards = Arc::new(ShardSet::new(mcfg.dim, cfg.shard.clone()));
+        let (tx, rx) = mpsc::channel();
+        let thread_shards = Arc::clone(&shards);
+        let mcfg = *mcfg;
+        let join = std::thread::Builder::new()
+            .name("tmn-serve-engine".into())
+            .spawn(move || {
+                let model = kind.build(&mcfg);
+                assert!(!model.is_pair_dependent(), "pair-dependence was checked at start");
+                assert_eq!(model.dim(), thread_shards.dim(), "model dim vs shard dim");
+                run(model, thread_shards, rx, cfg.max_batch.max(1));
+            })
+            .expect("spawn tmn-serve engine thread");
+        Ok(ServeEngine { handle: ServeHandle { tx, shards }, join: Some(join) })
+    }
+
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    pub fn shards(&self) -> &Arc<ShardSet> {
+        &self.handle.shards
+    }
+
+    /// Stop the engine thread and wait for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(join) = self.join.take() {
+            let _ = self.handle.tx.send(Req::Shutdown);
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The engine loop. Runs on the engine thread, which is the only place the
+/// model (and therefore any tensor) exists.
+fn run(model: Box<dyn PairModel>, shards: Arc<ShardSet>, rx: mpsc::Receiver<Req>, max_batch: usize) {
+    let mut corpus: HashMap<u64, Trajectory> = HashMap::new();
+    let mut cache: HashMap<u64, CacheEntry> = HashMap::new();
+    loop {
+        // Block for one request, then drain the admission window.
+        let Ok(first) = rx.recv() else { return };
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(req) => batch.push(req),
+                Err(_) => break,
+            }
+        }
+
+        // One fused forward for every trajectory the batch needs embedded.
+        let mut trajs: Vec<Trajectory> = Vec::new();
+        for req in &batch {
+            match req {
+                Req::Insert { traj, .. } | Req::Query { traj, .. } => trajs.push(traj.clone()),
+                Req::QueryBatch { trajs: ts, .. } => trajs.extend(ts.iter().cloned()),
+                _ => {}
+            }
+        }
+        let embeds = if trajs.is_empty() {
+            Vec::new()
+        } else {
+            metrics::gauge_set(SERVE_BATCH_SIZE, trajs.len() as f64);
+            embed(model.as_ref(), &trajs)
+        };
+
+        let mut cursor = 0usize;
+        let mut shutdown = false;
+        for req in batch {
+            match req {
+                Req::Insert { id, traj, reply } => {
+                    let emb = &embeds[cursor];
+                    cursor += 1;
+                    let res = shards.insert(id, emb);
+                    if res.is_ok() {
+                        corpus.insert(id, traj);
+                        // Re-inserts overwrite: explicit cache invalidation.
+                        cache.insert(id, CacheEntry::new(emb.clone()));
+                    }
+                    let _ = reply.send(res);
+                }
+                Req::Delete { id, reply } => {
+                    let res = shards.delete(id);
+                    if let Ok(true) = res {
+                        corpus.remove(&id);
+                        cache.remove(&id);
+                    }
+                    let _ = reply.send(res);
+                }
+                Req::Query { traj: _, k, reply } => {
+                    let emb = &embeds[cursor];
+                    cursor += 1;
+                    metrics::counter_add(SERVE_QUERIES_TOTAL, 1);
+                    let _ = reply.send(shards.query(emb, k));
+                }
+                Req::QueryBatch { trajs: ts, k, reply } => {
+                    let n = ts.len();
+                    let res: Result<Vec<_>, ServeError> =
+                        embeds[cursor..cursor + n].iter().map(|e| shards.query(e, k)).collect();
+                    cursor += n;
+                    metrics::counter_add(SERVE_QUERIES_TOTAL, n as u64);
+                    let _ = reply.send(res);
+                }
+                Req::QueryId { id, k, reply } => {
+                    let emb = match cached_embedding(&mut cache, &corpus, model.as_ref(), id) {
+                        Ok(emb) => emb,
+                        Err(e) => {
+                            let _ = reply.send(Err(e));
+                            continue;
+                        }
+                    };
+                    metrics::counter_add(SERVE_QUERIES_TOTAL, 1);
+                    let _ = reply.send(shards.query(&emb, k));
+                }
+                Req::Status { reply } => {
+                    let shard_status = shards.status();
+                    let degraded = shard_status.degraded_mode;
+                    let _ = reply.send(Ok(EngineStatus {
+                        model: model.name().to_string(),
+                        dim: model.dim(),
+                        corpus: corpus.len(),
+                        cache_entries: cache.len(),
+                        shards: shard_status,
+                        degraded_mode: degraded,
+                    }));
+                }
+                Req::CorruptCache { id, reply } => {
+                    let hit = match cache.get_mut(&id) {
+                        Some(entry) if !entry.vec.is_empty() => {
+                            entry.vec[0] = f32::from_bits(entry.vec[0].to_bits() ^ 1);
+                            true
+                        }
+                        _ => false,
+                    };
+                    let _ = reply.send(Ok(hit));
+                }
+                Req::Shutdown => shutdown = true,
+            }
+        }
+        if shutdown {
+            return;
+        }
+    }
+}
+
+/// Timed wrapper over the fused tape-free forward.
+fn embed(model: &dyn PairModel, trajs: &[Trajectory]) -> Vec<Vec<f32>> {
+    let t0 = Instant::now();
+    let out = encode_all(model, trajs, trajs.len());
+    metrics::observe_ns(tmn_eval::QUERY_EMBED_NS, t0.elapsed().as_nanos() as u64);
+    out
+}
+
+/// Resolve the embedding for a corpus id: warm cache when the checksum
+/// verifies, recompute (and repair the cache) when it does not.
+fn cached_embedding(
+    cache: &mut HashMap<u64, CacheEntry>,
+    corpus: &HashMap<u64, Trajectory>,
+    model: &dyn PairModel,
+    id: u64,
+) -> Result<Vec<f32>, ServeError> {
+    match cache.get(&id) {
+        Some(entry) if entry.valid() => {
+            metrics::counter_add(SERVE_CACHE_HITS_TOTAL, 1);
+            return Ok(entry.vec.clone());
+        }
+        Some(_) => metrics::counter_add(SERVE_CACHE_CORRUPT_TOTAL, 1),
+        None => {}
+    }
+    let traj = corpus.get(&id).ok_or(ServeError::UnknownId(id))?;
+    let emb = embed(model, std::slice::from_ref(traj)).remove(0);
+    cache.insert(id, CacheEntry::new(emb.clone()));
+    Ok(emb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmn_traj::Point;
+
+    fn traj(seed: u64, len: usize) -> Trajectory {
+        let pts = (0..len)
+            .map(|i| {
+                let h = tmn_index::splitmix64(seed * 131 + i as u64);
+                Point {
+                    lon: (h % 1000) as f64 / 1000.0,
+                    lat: ((h >> 10) % 1000) as f64 / 1000.0,
+                }
+            })
+            .collect();
+        Trajectory::new(pts)
+    }
+
+    fn engine() -> ServeEngine {
+        let cfg = ServeConfig {
+            shard: ShardSetConfig { shards: 2, shortlist: 32, ..Default::default() },
+            max_batch: 8,
+        };
+        ServeEngine::start(ModelKind::TmnNm, &ModelConfig { dim: 16, seed: 7 }, cfg).unwrap()
+    }
+
+    #[test]
+    fn pair_dependent_model_is_rejected() {
+        let err = ServeEngine::start(
+            ModelKind::Tmn,
+            &ModelConfig { dim: 16, seed: 7 },
+            ServeConfig::default(),
+        )
+        .err()
+        .expect("full TMN must be rejected");
+        assert_eq!(err, ServeError::PairDependentModel("TMN"));
+    }
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let engine = engine();
+        let h = engine.handle();
+        for id in 0..20u64 {
+            h.insert(id, traj(id, 12)).unwrap();
+        }
+        // A corpus trajectory's own embedding is its nearest neighbour.
+        let top = h.query(traj(5, 12), 3).unwrap();
+        assert_eq!(top[0].0, 5);
+        assert!(top[0].1 <= 1e-6, "self-distance {} not ~0", top[0].1);
+        // By-id path agrees with the ad-hoc path.
+        assert_eq!(h.query_id(5, 3).unwrap(), top);
+        assert!(h.delete(5).unwrap());
+        assert!(h.query(traj(5, 12), 20).unwrap().iter().all(|&(id, _)| id != 5));
+        assert_eq!(h.query_id(5, 3), Err(ServeError::UnknownId(5)));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn batched_queries_match_singles() {
+        let engine = engine();
+        let h = engine.handle();
+        for id in 0..30u64 {
+            h.insert(id, traj(id, 10)).unwrap();
+        }
+        let queries: Vec<Trajectory> = (0..6).map(|i| traj(100 + i, 10)).collect();
+        let batched = h.query_batch(queries.clone(), 5).unwrap();
+        for (q, b) in queries.into_iter().zip(batched) {
+            // Embedding numerics may differ at the ULP level between batch
+            // shapes; ranked ids must agree and distances stay within fp
+            // noise of each other.
+            let single = h.query(q, 5).unwrap();
+            let ids = |r: &[(u64, f64)]| r.iter().map(|&(id, _)| id).collect::<Vec<_>>();
+            assert_eq!(ids(&single), ids(&b), "batched ranking diverged from single");
+            for (s, t) in single.iter().zip(&b) {
+                assert!((s.1 - t.1).abs() < 1e-5, "distance drift {} vs {}", s.1, t.1);
+            }
+        }
+    }
+
+    #[test]
+    fn status_reports_corpus_and_cache() {
+        let engine = engine();
+        let h = engine.handle();
+        for id in 0..10u64 {
+            h.insert(id, traj(id, 8)).unwrap();
+        }
+        h.delete(3).unwrap();
+        let status = h.status().unwrap();
+        assert_eq!(status.model, "TMN-NM");
+        assert_eq!(status.dim, 16);
+        assert_eq!(status.corpus, 9);
+        assert_eq!(status.cache_entries, 9);
+        assert_eq!(status.shards.live, 9);
+        assert!(!status.degraded_mode);
+        let json = status.to_json();
+        assert!(json.contains("\"degraded_mode\":false"), "flag missing from {json}");
+    }
+
+    #[test]
+    fn engine_down_after_shutdown() {
+        let engine = engine();
+        let h = engine.handle();
+        h.insert(1, traj(1, 8)).unwrap();
+        engine.shutdown();
+        assert_eq!(h.delete(1), Err(ServeError::EngineDown));
+    }
+}

@@ -34,4 +34,7 @@ fi
 echo "== resume smoke (kill-and-resume bit-identical, threads=1 and 4) =="
 cargo run --release -p tmn-bench --bin resume_smoke
 
+echo "== serve smoke (lifecycle, degraded mode, cache recovery) =="
+cargo run --release -p tmn-bench --bin serve_smoke
+
 echo "CI OK"
