@@ -14,10 +14,12 @@
 //!
 //! Direction heuristics (on the leaf name):
 //! - higher-better: `*per_sec`, `*gflops`, `*speedup`, `*throughput`,
-//!   `*qps*`, `hr*`/`recall*`/`r10*`, `coverage`
+//!   `*qps*`, `hr*`/`recall*`/`r10*`, `coverage`, `*_mb_s` (bandwidth —
+//!   matched before the `_s` duration suffix would misread it as a time)
 //! - lower-better: `*_ns*` (including percentile leaves like `embed_ns_p99`),
-//!   `*_ms`, `*_s`, `*seconds`, `*wall*`, `*latency*`, `*bytes`, `*time*`,
-//!   `*imbalance*` (max/mean shard occupancy: 1.0 is perfect, growth is skew)
+//!   `*_ms`, `*_s`, `*seconds`, `*wall*`, `*latency*`, `*_bytes`/`*bytes`,
+//!   `*time*`, `*imbalance*` (max/mean shard occupancy: 1.0 is perfect,
+//!   growth is skew)
 //! - anything else is informational: reported, never gated (strings such as
 //!   `simd_dispatch` never reach classification — only numeric leaves do).
 //!
@@ -47,7 +49,13 @@ fn classify(path: &str) -> Direction {
     {
         return Direction::HigherBetter;
     }
-    const LOWER_SUFFIX: &[&str] = &["_ns", "_ms", "_s"];
+    // Bandwidth leaves (`build_mb_s`, `scan_mb_s`, ...) are higher-better
+    // and MUST be decided before the `_s` duration suffix below, which
+    // would otherwise gate a throughput gain as a latency regression.
+    if leaf.ends_with("_mb_s") {
+        return Direction::HigherBetter;
+    }
+    const LOWER_SUFFIX: &[&str] = &["_ns", "_ms", "_s", "_bytes"];
     // `_ns` appears as a substring too so percentile leaves (`embed_ns_p99`)
     // gate as latencies even though they don't *end* with the unit.
     const LOWER_SUBSTR: &[&str] = &["seconds", "wall", "latency", "bytes", "time", "_ns", "imbalance"];
@@ -391,6 +399,42 @@ mod tests {
         // Gauges exported through the metrics snapshot classify the same way.
         assert_eq!(classify("metrics.gauges[0].shard_imbalance"), Direction::LowerBetter);
         assert_eq!(classify("metrics.gauges[1].serve_batch_size"), Direction::Info);
+    }
+
+    #[test]
+    fn store_section_classification() {
+        // The data-plane block: bandwidth up, sizes/latencies/walls down.
+        // `_mb_s` must win over the `_s` duration suffix — a faster build
+        // is an improvement, not a latency regression.
+        assert_eq!(classify("store.build_mb_s"), Direction::HigherBetter);
+        assert_eq!(classify("store.scan_mb_s"), Direction::HigherBetter);
+        assert_eq!(classify("store.file_bytes"), Direction::LowerBetter);
+        assert_eq!(classify("store.gt_blocked_peak_bytes"), Direction::LowerBetter);
+        assert_eq!(classify("store.mmap_open_ns"), Direction::LowerBetter);
+        assert_eq!(classify("store.gt_blocked_wall_s"), Direction::LowerBetter);
+        assert_eq!(classify("store.eval_qps"), Direction::HigherBetter);
+        assert_eq!(classify("store.hr10"), Direction::HigherBetter);
+        assert_eq!(classify("store.corpus_n"), Direction::Info);
+        assert_eq!(classify("store.tile"), Direction::Info);
+    }
+
+    #[test]
+    fn bandwidth_regressions_gate_in_the_higher_better_direction() {
+        // A drop in MB/s must fire the gate; under the (buggy) `_s` reading
+        // a drop would look like an improvement and pass silently.
+        let base = flat(&[("store.build_mb_s", 100.0)]);
+        let head = flat(&[("store.build_mb_s", 80.0)]);
+        let rows = diff_metrics(&base, &head, &default_thresholds());
+        assert!(rows.iter().any(|r| r.regressed), "20% bandwidth loss must gate");
+        // And a gain must NOT fire.
+        let head = flat(&[("store.build_mb_s", 130.0)]);
+        let rows = diff_metrics(&base, &head, &default_thresholds());
+        assert!(rows.iter().all(|r| !r.regressed), "bandwidth gain fired the gate");
+        // Byte-size leaves gate lower-better: growth fires.
+        let base = flat(&[("store.file_bytes", 1000.0)]);
+        let head = flat(&[("store.file_bytes", 1200.0)]);
+        let rows = diff_metrics(&base, &head, &default_thresholds());
+        assert!(rows.iter().any(|r| r.regressed), "file growth must gate");
     }
 
     #[test]

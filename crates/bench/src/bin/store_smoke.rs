@@ -1,0 +1,132 @@
+//! CI smoke for the scale-out data plane: write a corpus + embedding store
+//! to disk, reopen them as mmap views, and exercise every load-bearing
+//! guarantee — CRC round-trip, corruption rejection, blocked-vs-dense
+//! ground-truth bitwise equality, shard-count-independent evaluation, and
+//! warm-started serving — failing loudly on any divergence.
+//!
+//! Runs in a couple of seconds; wired into `scripts/ci.sh` after
+//! `serve_smoke`.
+
+use tmn_core::{ModelConfig, ModelKind};
+use tmn_eval::{encode_all, evaluate_sharded, EmbeddingStore};
+use tmn_serve::{ServeConfig, ServeEngine, ShardSetConfig};
+use tmn_store::{write_corpus, BlockedDistanceMatrix, CorpusFile, EmbeddingsFile};
+use tmn_traj::metrics::{Metric, MetricParams};
+use tmn_traj::{DistanceMatrix, GroundTruth, Point, Trajectory};
+
+fn traj(seed: u64, len: usize) -> Trajectory {
+    let pts = (0..len)
+        .map(|i| {
+            let h = tmn_index::splitmix64(seed * 131 + i as u64);
+            Point::new((h % 1000) as f64 / 1000.0, ((h >> 10) % 1000) as f64 / 1000.0)
+        })
+        .collect();
+    Trajectory::new(pts)
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tmn-store-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn main() {
+    let n = 80usize;
+    let trajs: Vec<Trajectory> = (0..n).map(|i| traj(i as u64, 8 + (i % 7))).collect();
+
+    // -- Corpus: write -> mmap reopen -> byte-exact round-trip ------------
+    let corpus_path = tmp("corpus.tmns");
+    write_corpus(&corpus_path, &trajs).expect("write corpus");
+    let corpus = CorpusFile::open(&corpus_path).expect("open corpus");
+    corpus.verify().expect("corpus CRC verify");
+    assert_eq!(corpus.len(), n);
+    let view = corpus.view();
+    for (i, t) in trajs.iter().enumerate() {
+        let got = view.get(i);
+        assert_eq!(&got, t, "corpus round-trip diverged at row {i}");
+    }
+
+    // -- Corruption: any flipped byte must be rejected, never mis-served --
+    let clean = std::fs::read(&corpus_path).expect("read corpus bytes");
+    for &pos in &[4usize, 40, clean.len() / 2, clean.len() - 1] {
+        let mut bad = clean.clone();
+        bad[pos] ^= 0x40;
+        let bad_path = tmp("corrupt.tmns");
+        std::fs::write(&bad_path, &bad).unwrap();
+        let rejected = match CorpusFile::open(&bad_path) {
+            Err(_) => true,
+            Ok(f) => f.verify().is_err(),
+        };
+        assert!(rejected, "flipped byte at {pos} was not rejected");
+    }
+    // Truncation mid-payload must also fail closed.
+    let cut_path = tmp("truncated.tmns");
+    std::fs::write(&cut_path, &clean[..clean.len() / 2]).unwrap();
+    assert!(
+        CorpusFile::open(&cut_path).map(|f| f.verify().is_err()).unwrap_or(true),
+        "truncated corpus was not rejected"
+    );
+
+    // -- Ground truth: blocked out-of-core == dense in-RAM, bit for bit ---
+    let params = MetricParams::default();
+    let gt_path = tmp("gt.tmns");
+    let blocked =
+        BlockedDistanceMatrix::compute(&gt_path, &trajs, Metric::Hausdorff, &params, 2, 16)
+            .expect("blocked ground truth");
+    let dense = DistanceMatrix::compute(&trajs, Metric::Hausdorff, &params, 2);
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(
+                blocked.get(i, j).to_bits(),
+                dense.get(i, j).to_bits(),
+                "blocked/dense ground truth diverged at ({i},{j})"
+            );
+        }
+    }
+
+    // -- Embeddings: save -> mmap reopen -> zero-copy rows match ----------
+    let mcfg = ModelConfig { dim: 16, seed: 7 };
+    let model = ModelKind::TmnNm.build(&mcfg);
+    let embeds = encode_all(model.as_ref(), &trajs, 1);
+    let emb_path = tmp("emb.tmns");
+    EmbeddingStore::from_vectors(&embeds).save(&emb_path).expect("save embeddings");
+    let emb_file = EmbeddingsFile::open(&emb_path).expect("open embeddings");
+    emb_file.verify().expect("embeddings CRC verify");
+    let store = EmbeddingStore::open_mmap(&emb_path).expect("mmap embeddings");
+    assert!(store.is_mapped());
+    for (i, e) in embeds.iter().enumerate() {
+        assert_eq!(store.get(i), &e[..], "embedding row {i} diverged through mmap");
+    }
+
+    // -- Evaluation: bitwise identical across shard counts, owned vs mmap -
+    let queries: Vec<usize> = (0..n).step_by(3).collect();
+    let truth: &dyn GroundTruth = &blocked;
+    let e1 = evaluate_sharded(&store, truth, &queries, 1);
+    let e4 = evaluate_sharded(&store, truth, &queries, 4);
+    let owned = evaluate_sharded(&EmbeddingStore::from_vectors(&embeds), &dense, &queries, 2);
+    for (a, b) in [(&e1, &e4), (&e1, &owned)] {
+        assert_eq!(a.hr10.to_bits(), b.hr10.to_bits(), "HR-10 diverged: {a:?} vs {b:?}");
+        assert_eq!(a.hr50.to_bits(), b.hr50.to_bits(), "HR-50 diverged");
+        assert_eq!(a.r10_50.to_bits(), b.r10_50.to_bits(), "R10@50 diverged");
+    }
+
+    // -- Warm start: serving straight off the two stores ------------------
+    let cfg = ServeConfig {
+        shard: ShardSetConfig { shards: 2, shortlist: 32, ..Default::default() },
+        max_batch: 8,
+    };
+    let engine = ServeEngine::start_warm(ModelKind::TmnNm, &mcfg, cfg, &corpus, &store)
+        .expect("warm start");
+    let h = engine.handle();
+    let status = h.status().expect("status");
+    assert_eq!(status.corpus, n, "warm corpus incomplete");
+    assert_eq!(status.cache_entries, n, "warm cache incomplete");
+    let top = h.query(trajs[11].clone(), 3).expect("warm query");
+    assert_eq!(top[0].0, 11, "warm self-NN failed: {top:?}");
+    engine.shutdown();
+
+    println!(
+        "store smoke OK: {n} trajectories round-tripped, corruption rejected, \
+         blocked==dense bitwise, eval shard-invariant, warm serve live"
+    );
+}

@@ -85,6 +85,40 @@ struct ServeRow {
 }
 
 #[derive(serde::Serialize)]
+struct StoreRow {
+    /// Trajectories in the on-disk corpus (10x the table-experiment corpus
+    /// at every scale — the point of the data plane is headroom).
+    corpus_n: usize,
+    /// Ground-truth tile edge used for the blocked build.
+    tile: usize,
+    /// Corpus file size on disk (header + points + index).
+    file_bytes: usize,
+    /// Streaming corpus write throughput, file bytes / wall.
+    build_mb_s: f64,
+    /// Latency of `CorpusFile::open` (mmap + header/index validation),
+    /// best of several opens.
+    mmap_open_ns: f64,
+    /// Wall seconds for the blocked, spill-to-disk ground-truth build.
+    gt_blocked_wall_s: f64,
+    /// Wall seconds for the dense in-RAM build of the same matrix.
+    gt_inram_wall_s: f64,
+    /// Heap high-water growth during the blocked build (0 when the bench
+    /// was compiled without `--features mem`).
+    gt_blocked_peak_bytes: usize,
+    /// What a fully materialized n x n f64 matrix would take — the
+    /// footprint the blocked path must stay under.
+    gt_full_matrix_bytes: usize,
+    /// Shard-per-core evaluation throughput over the mmap-backed
+    /// embedding store (queries/second).
+    eval_qps: f64,
+    eval_queries: usize,
+    eval_shards: usize,
+    /// HR-10 of the synthetic endpoint embeddings against the stored
+    /// ground truth — deterministic, so any drift is a real change.
+    hr10: f64,
+}
+
+#[derive(serde::Serialize)]
 struct Report {
     host_cores: usize,
     batch_pairs: usize,
@@ -94,6 +128,7 @@ struct Report {
     kernels: Vec<KernelRow>,
     infer: InferRow,
     serve: ServeRow,
+    store: StoreRow,
     /// Training-side metrics registry at end of run (`train_batch_ns`
     /// histogram, batch counter, wall/memory gauges) — the payload
     /// `bench_diff` gates across two captures.
@@ -288,6 +323,133 @@ fn bench_serve(ds: &Dataset, dim: usize) -> ServeRow {
     }
 }
 
+/// Benchmark the scale-out data plane: stream a 10x-scale corpus to disk,
+/// reopen it as an mmap view, build the ground truth out-of-core (tiled,
+/// CRC-framed, spilled) vs fully in RAM, then run the shard-per-core
+/// Table II evaluation off the mmap-backed embedding store.
+fn bench_store(scale: Scale) -> StoreRow {
+    use tmn_obs::memory;
+    use tmn_store::{BlockedDistanceMatrix, CorpusFile, CorpusWriter};
+    use tmn_traj::GroundTruth;
+
+    // 10x the largest table-experiment corpus (300 at default scale): the
+    // data plane exists for sizes the in-RAM path was never meant to hold.
+    let corpus_n = (scale.dataset_size() * 10).max(3000);
+    let tile = 256usize;
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let dir = std::env::temp_dir().join(format!("tmn-bench-store-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create store bench dir");
+
+    // Deterministic 16-point trajectories (short on purpose: the bench
+    // gates data-plane cost, not metric kernels).
+    let traj_for = |i: usize| -> Trajectory {
+        (0..16)
+            .map(|t| {
+                let h = tmn_index::splitmix64((i as u64) * 131 + t as u64);
+                Point {
+                    lon: (h % 10_000) as f64 / 10_000.0 + (i % 7) as f64 * 0.1,
+                    lat: ((h >> 16) % 10_000) as f64 / 10_000.0,
+                }
+            })
+            .collect()
+    };
+    let trajs: Vec<Trajectory> = (0..corpus_n).map(traj_for).collect();
+
+    // Streaming corpus write -> MB/s.
+    let corpus_path = dir.join("corpus.tmns");
+    let t0 = Instant::now();
+    let mut w = CorpusWriter::create(&corpus_path).expect("corpus writer");
+    for t in &trajs {
+        w.push(t).expect("corpus push");
+    }
+    w.finish().expect("corpus finish");
+    let build_s = t0.elapsed().as_secs_f64();
+    let file_bytes = std::fs::metadata(&corpus_path).expect("corpus metadata").len() as usize;
+    let build_mb_s = file_bytes as f64 / 1e6 / build_s.max(1e-12);
+
+    // mmap open latency (open + header/index CRC validation), best of 5.
+    let mut open_ns = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let f = CorpusFile::open(&corpus_path).expect("corpus open");
+        open_ns = open_ns.min(t0.elapsed().as_nanos() as f64);
+        std::hint::black_box(&f);
+    }
+
+    // Blocked out-of-core ground truth, peak-heap accounted.
+    let gt_path = dir.join("gt.tmns");
+    let live_before = memory::live_bytes();
+    memory::reset_peak();
+    let t0 = Instant::now();
+    let blocked = BlockedDistanceMatrix::compute(
+        &gt_path,
+        &trajs,
+        Metric::Hausdorff,
+        &MetricParams::default(),
+        threads,
+        tile,
+    )
+    .expect("blocked ground truth");
+    let gt_blocked_wall_s = t0.elapsed().as_secs_f64();
+    let gt_blocked_peak_bytes = memory::peak_bytes().saturating_sub(live_before) as usize;
+    let gt_full_matrix_bytes = corpus_n * corpus_n * std::mem::size_of::<f64>();
+    if memory::is_active() {
+        assert!(
+            gt_blocked_peak_bytes < gt_full_matrix_bytes,
+            "blocked ground truth peaked at {gt_blocked_peak_bytes} B, not below the              {gt_full_matrix_bytes} B full-materialization footprint"
+        );
+    }
+
+    // The dense in-RAM build of the same matrix, for the wall comparison.
+    let t0 = Instant::now();
+    let dense = DistanceMatrix::compute(&trajs, Metric::Hausdorff, &MetricParams::default(), threads);
+    let gt_inram_wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        dense.get(1, corpus_n - 1).to_bits(),
+        blocked.get(1, corpus_n - 1).to_bits(),
+        "blocked/dense ground truth diverged (spot check)"
+    );
+    drop(dense);
+
+    // Cheap deterministic endpoint embeddings -> CRC-framed file -> mmap.
+    let vecs: Vec<Vec<f32>> = trajs
+        .iter()
+        .map(|t| {
+            let pts = t.points();
+            let (a, b) = (&pts[0], &pts[pts.len() - 1]);
+            vec![a.lon as f32, a.lat as f32, b.lon as f32, b.lat as f32]
+        })
+        .collect();
+    let emb_path = dir.join("emb.tmns");
+    EmbeddingStore::from_vectors(&vecs).save(&emb_path).expect("embeddings save");
+    let store = EmbeddingStore::open_mmap(&emb_path).expect("embeddings mmap");
+
+    // Shard-per-core Table II evaluation straight off the two stores.
+    let eval_queries = 200.min(corpus_n);
+    let queries: Vec<usize> =
+        (0..eval_queries).map(|i| i * corpus_n / eval_queries.max(1)).collect();
+    let truth: &dyn GroundTruth = &blocked;
+    let t0 = Instant::now();
+    let eval = tmn_eval::evaluate_sharded(&store, truth, &queries, threads);
+    let eval_s = t0.elapsed().as_secs_f64();
+
+    StoreRow {
+        corpus_n,
+        tile,
+        file_bytes,
+        build_mb_s,
+        mmap_open_ns: open_ns,
+        gt_blocked_wall_s,
+        gt_inram_wall_s,
+        gt_blocked_peak_bytes,
+        gt_full_matrix_bytes,
+        eval_qps: queries.len() as f64 / eval_s.max(1e-12),
+        eval_queries,
+        eval_shards: threads,
+        hr10: eval.hr10,
+    }
+}
+
 fn main() {
     let scale = Scale::from_args();
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -365,6 +527,24 @@ fn main() {
         infer.index_f32_bytes,
     );
 
+    let store = bench_store(scale);
+    eprintln!(
+        "  store (n={}): corpus {:.1} MB at {:.0} MB/s, mmap open {:.0}ns, \
+         GT blocked {:.1}s (peak {} B) vs in-RAM {:.1}s (full {} B), \
+         eval {:.0} q/s on {} shards, HR-10 {:.3}",
+        store.corpus_n,
+        store.file_bytes as f64 / 1e6,
+        store.build_mb_s,
+        store.mmap_open_ns,
+        store.gt_blocked_wall_s,
+        store.gt_blocked_peak_bytes,
+        store.gt_inram_wall_s,
+        store.gt_full_matrix_bytes,
+        store.eval_qps,
+        store.eval_shards,
+        store.hr10,
+    );
+
     let serve = bench_serve(&ds, dim);
     eprintln!(
         "  serve ({} shards, {} vectors): {:.0} inserts/s, {:.0} batched q/s end-to-end, \
@@ -399,6 +579,7 @@ fn main() {
         kernels: kernel_rows,
         infer,
         serve,
+        store,
         metrics: metrics::snapshot(),
         note: "Data-parallel workers run on scoped OS threads; on a single-core host the \
                remaining gain comes from per-chunk padding (each worker pads to its chunk's \

@@ -191,7 +191,7 @@ impl Ctx {
         let mut trainer = Trainer::new(
             model.as_ref(),
             &ds.train,
-            &train_dmat,
+            &*train_dmat,
             spec.metric,
             params,
             sampler,

@@ -111,33 +111,12 @@ impl From<RestoreError> for CheckpointError {
 
 // ---------------------------------------------------------------------------
 // CRC32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) — the ubiquitous
-// `crc32` of zlib/gzip. Table-driven, built once at compile time.
+// `crc32` of zlib/gzip. One implementation serves the whole workspace: it
+// moved to `tmn-store` (whose file formats grew out of this framing) and is
+// re-exported here so checkpoint callers keep their import path.
 // ---------------------------------------------------------------------------
 
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-};
-
-/// CRC32 (IEEE) of a byte slice.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
+pub use tmn_store::crc32;
 
 // ---------------------------------------------------------------------------
 // Decoded structures

@@ -15,7 +15,7 @@ use std::path::Path;
 use std::time::Instant;
 use tmn_data::Sampler;
 use tmn_traj::metrics::{prefix_distances, Metric, MetricParams};
-use tmn_traj::{DistanceMatrix, SimilarityMatrix, Trajectory};
+use tmn_traj::{GroundTruth, SimilarityTransform, Trajectory};
 use tmn_autograd::optim::{clip_grad_norm, Adam};
 use tmn_obs::{memory, metrics, profiler, BatchTelemetry, EpochTelemetry, EventTelemetry, TelemetrySink};
 
@@ -88,8 +88,8 @@ impl TrainStats {
 pub struct Trainer<'a> {
     model: &'a dyn PairModel,
     train: &'a [Trajectory],
-    dmat: &'a DistanceMatrix,
-    smat: SimilarityMatrix,
+    truth: &'a dyn GroundTruth,
+    sim: SimilarityTransform,
     metric: Metric,
     mparams: MetricParams,
     config: TrainConfig,
@@ -129,16 +129,16 @@ impl<'a> Trainer<'a> {
     pub fn new(
         model: &'a dyn PairModel,
         train: &'a [Trajectory],
-        dmat: &'a DistanceMatrix,
+        truth: &'a dyn GroundTruth,
         metric: Metric,
         mparams: MetricParams,
         sampler: Box<dyn Sampler + 'a>,
         config: TrainConfig,
         alpha: Option<f64>,
     ) -> Trainer<'a> {
-        assert_eq!(train.len(), dmat.len(), "distance matrix must cover the training set");
+        assert_eq!(train.len(), truth.len(), "ground truth must cover the training set");
         assert!(train.len() >= 2, "need at least two training trajectories");
-        let smat = dmat.to_similarity(alpha.unwrap_or_else(|| metric.default_alpha()));
+        let sim = SimilarityTransform::from_truth(truth, alpha.unwrap_or_else(|| metric.default_alpha()));
         let optimizer = Adam::new(model.params(), config.lr);
         let rng = StdRng::seed_from_u64(config.seed);
         let store = config
@@ -148,8 +148,8 @@ impl<'a> Trainer<'a> {
         Trainer {
             model,
             train,
-            dmat,
-            smat,
+            truth,
+            sim,
             metric,
             mparams,
             config,
@@ -427,8 +427,8 @@ impl<'a> Trainer<'a> {
     }
 
     /// The similarity transform in use (needed to interpret predictions).
-    pub fn similarity(&self) -> &SimilarityMatrix {
-        &self.smat
+    pub fn similarity(&self) -> &SimilarityTransform {
+        &self.sim
     }
 
     fn sub_targets(&mut self, a: usize, s: usize) -> Vec<(usize, f32)> {
@@ -448,7 +448,7 @@ impl<'a> Trainer<'a> {
         );
         let v: Vec<(usize, f32)> = prefixes
             .into_iter()
-            .map(|(i, d)| (i, self.smat.similarity_of_distance(d) as f32))
+            .map(|(i, d)| (i, self.sim.of_distance(d) as f32))
             .collect();
         self.sub_cache.insert(key, v.clone());
         v
@@ -477,7 +477,10 @@ impl<'a> Trainer<'a> {
             let samples: Vec<&Trajectory> = pairs.iter().map(|&(_, s, _)| &self.train[s]).collect();
             let batch = PairBatch::build(&anchors, &samples);
             let targets = PairTargets {
-                sim: pairs.iter().map(|&(a, s, _)| self.smat.get(a, s) as f32).collect(),
+                sim: pairs
+                    .iter()
+                    .map(|&(a, s, _)| self.sim.of_distance(self.truth.get(a, s)) as f32)
+                    .collect(),
                 weight: pairs.iter().map(|&(_, _, w)| w).collect(),
                 sub: pairs.iter().map(|&(a, s, _)| self.sub_targets(a, s)).collect(),
             };
@@ -537,7 +540,7 @@ impl<'a> Trainer<'a> {
         // stays a plain single-threaded HashMap.
         let targets: Vec<TargetRow> = pairs
             .iter()
-            .map(|&(a, s, w)| (self.smat.get(a, s) as f32, w, self.sub_targets(a, s)))
+            .map(|&(a, s, w)| (self.sim.of_distance(self.truth.get(a, s)) as f32, w, self.sub_targets(a, s)))
             .collect();
         let pairs: &[(usize, usize, f32)] = &pairs;
         let snap = self.model.params().snapshot();
@@ -745,7 +748,7 @@ impl<'a> Trainer<'a> {
                 next_anchor += 1;
                 let samples = {
                     let _prof = profiler::phase("trainer.sampling");
-                    self.sampler.sample(anchor, k, self.dmat, &mut self.rng)
+                    self.sampler.sample(anchor, k, self.truth, &mut self.rng)
                 };
                 buffer.extend(samples.pairs());
                 continue;
@@ -822,7 +825,7 @@ mod tests {
     use crate::config::{LossKind, ModelConfig};
     use crate::models::ModelKind;
     use tmn_data::RankSampler;
-    use tmn_traj::Point;
+    use tmn_traj::{DistanceMatrix, Point};
 
     fn toy_set(n: usize) -> Vec<Trajectory> {
         (0..n)

@@ -10,7 +10,7 @@
 
 use rand::seq::SliceRandom;
 use tmn_index::KdTree;
-use tmn_traj::{DistanceMatrix, Trajectory};
+use tmn_traj::{GroundTruth, Trajectory};
 
 /// Near/far training samples for one anchor, with per-sample loss weights.
 #[derive(Debug, Clone)]
@@ -41,9 +41,10 @@ pub fn rank_weights(n: usize) -> Vec<f32> {
 
 /// A strategy producing near/far samples for an anchor in the training set.
 pub trait Sampler {
-    /// `k` near + `k` far samples for `anchor`; `dmat` is the ground-truth
-    /// distance matrix over the training set.
-    fn sample(&self, anchor: usize, k: usize, dmat: &DistanceMatrix, rng: &mut dyn rand::RngCore)
+    /// `k` near + `k` far samples for `anchor`; `truth` is the ground-truth
+    /// distance matrix over the training set — dense in-RAM or the
+    /// out-of-core blocked store, indistinguishable behind [`GroundTruth`].
+    fn sample(&self, anchor: usize, k: usize, truth: &dyn GroundTruth, rng: &mut dyn rand::RngCore)
         -> AnchorSamples;
 
     fn name(&self) -> &'static str;
@@ -58,16 +59,17 @@ impl Sampler for RankSampler {
         &self,
         anchor: usize,
         k: usize,
-        dmat: &DistanceMatrix,
+        truth: &dyn GroundTruth,
         rng: &mut dyn rand::RngCore,
     ) -> AnchorSamples {
-        let n = dmat.len();
+        let n = truth.len();
         assert!(anchor < n, "anchor out of range");
         let mut candidates: Vec<usize> = (0..n).filter(|&i| i != anchor).collect();
         candidates.shuffle(rng);
         let take = (2 * k).min(candidates.len());
         let mut chosen = candidates[..take].to_vec();
-        let row = dmat.row(anchor);
+        let mut row = Vec::with_capacity(n);
+        truth.row_into(anchor, &mut row);
         chosen.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap().then(a.cmp(&b)));
         let half = chosen.len() / 2;
         let near_idx = &chosen[..half.min(k)];
@@ -109,10 +111,10 @@ impl Sampler for KdSampler {
         &self,
         anchor: usize,
         k: usize,
-        dmat: &DistanceMatrix,
+        truth: &dyn GroundTruth,
         rng: &mut dyn rand::RngCore,
     ) -> AnchorSamples {
-        let n = dmat.len();
+        let n = truth.len();
         assert_eq!(n, self.vectors.len(), "KdSampler built over a different training set");
         // k+1 because the anchor is its own nearest neighbour in the tree.
         let near_idx: Vec<usize> = self
@@ -129,7 +131,8 @@ impl Sampler for KdSampler {
             (0..n).filter(|&i| i != anchor && !near_idx.contains(&i)).collect();
         rest.shuffle(rng);
         let mut far_idx: Vec<usize> = rest.into_iter().take(k).collect();
-        let row = dmat.row(anchor);
+        let mut row = Vec::with_capacity(n);
+        truth.row_into(anchor, &mut row);
         let mut near_sorted = near_idx;
         near_sorted.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap().then(a.cmp(&b)));
         far_idx.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap().then(a.cmp(&b)));
@@ -153,7 +156,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use tmn_traj::metrics::{Metric, MetricParams};
-    use tmn_traj::Point;
+    use tmn_traj::{DistanceMatrix, Point};
 
     fn line(offset: f64) -> Trajectory {
         (0..12).map(|i| Point::new(i as f64 * 0.1, offset)).collect()

@@ -18,12 +18,14 @@ mod correlation;
 mod metrics;
 mod parallel;
 mod search;
+mod sharded;
 mod store;
 mod timing;
 
 pub use correlation::{kendall_tau, pearson, spearman};
 pub use metrics::{evaluate, hitting_ratio, recall_at, top_k_indices, Evaluation};
 pub use parallel::predicted_distance_rows_parallel;
+pub use sharded::evaluate_sharded;
 pub use store::{EmbeddingStore, StoreError};
 pub use search::{
     embedding_distance, encode_all, encode_all_graphed, pairwise_query_distances,

@@ -1,10 +1,22 @@
 //! Persistent embedding stores: hold the encoded database, serialize it
 //! compactly, and search it (brute force or via HNSW).
 //!
-//! Format (little-endian): magic `TMNE` | version u32 | dim u32 | count u32
-//! | `count * dim` f32 values.
+//! Two persistence paths share one search API:
+//!
+//! - the legacy in-RAM `TMNE` frame (little-endian: magic `TMNE` | version
+//!   u32 | dim u32 | count u32 | `count * dim` f32), decoded into an owned
+//!   buffer, and
+//! - the CRC-framed `tmn-store` embeddings file, opened as an mmap(2) view
+//!   and read **zero-copy**: [`EmbeddingStore::get`] hands out `&[f32]`
+//!   slices straight into the kernel mapping, so a multi-GB corpus costs
+//!   one open, not one materialization.
+//!
+//! Every search method is backing-agnostic — owned and mapped stores with
+//! equal contents answer every query identically.
 
+use std::path::Path;
 use tmn_index::{AnnIndex, Hnsw, HnswConfig, ShardedHnsw};
+use tmn_store::{EmbeddingsFile, EmbeddingsWriter};
 
 const MAGIC: &[u8; 4] = b"TMNE";
 const VERSION: u32 = 1;
@@ -29,11 +41,29 @@ impl std::fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
+/// Where the row-major `count * dim` f32 block lives.
+#[derive(Debug, Clone)]
+enum Backing {
+    /// Heap buffer (built in memory or decoded from the `TMNE` frame).
+    Owned(Vec<f32>),
+    /// CRC-verified mmap(2) view of a `tmn-store` embeddings file; reads
+    /// are zero-copy slices into the mapping.
+    Mapped(EmbeddingsFile),
+}
+
 /// A dense set of `d`-dimensional embeddings with stable indices.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct EmbeddingStore {
     dim: usize,
-    data: Vec<f32>, // row-major
+    backing: Backing,
+}
+
+/// Equality is by contents — an owned store and a mapped store holding the
+/// same matrix compare equal, exactly as they search identically.
+impl PartialEq for EmbeddingStore {
+    fn eq(&self, other: &EmbeddingStore) -> bool {
+        self.dim == other.dim && self.data() == other.data()
+    }
 }
 
 impl EmbeddingStore {
@@ -48,15 +78,46 @@ impl EmbeddingStore {
         for v in vectors {
             data.extend_from_slice(v);
         }
-        EmbeddingStore { dim, data }
+        EmbeddingStore { dim, backing: Backing::Owned(data) }
+    }
+
+    /// Open a `tmn-store` embeddings file as an mmap-backed store. The data
+    /// CRC is verified once here; every later read is a zero-copy slice.
+    pub fn open_mmap(path: &Path) -> Result<EmbeddingStore, tmn_store::StoreError> {
+        let file = EmbeddingsFile::open(path)?;
+        file.verify()?;
+        Ok(EmbeddingStore { dim: file.dim(), backing: Backing::Mapped(file) })
+    }
+
+    /// Write the store as a CRC-framed `tmn-store` embeddings file that
+    /// [`open_mmap`](EmbeddingStore::open_mmap) reads back zero-copy.
+    pub fn save(&self, path: &Path) -> Result<(), tmn_store::StoreError> {
+        let mut w = EmbeddingsWriter::create(path, self.dim)?;
+        for i in 0..self.len() {
+            w.push(self.get(i))?;
+        }
+        w.finish()
+    }
+
+    /// True when reads go through an mmap view rather than owned memory.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.backing, Backing::Mapped(_))
+    }
+
+    /// The whole row-major matrix, whichever backing holds it.
+    fn data(&self) -> &[f32] {
+        match &self.backing {
+            Backing::Owned(v) => v,
+            Backing::Mapped(f) => f.data(),
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.data.len().checked_div(self.dim).unwrap_or(0)
+        self.data().len().checked_div(self.dim).unwrap_or(0)
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.data().is_empty()
     }
 
     pub fn dim(&self) -> usize {
@@ -64,7 +125,7 @@ impl EmbeddingStore {
     }
 
     pub fn get(&self, i: usize) -> &[f32] {
-        &self.data[i * self.dim..(i + 1) * self.dim]
+        &self.data()[i * self.dim..(i + 1) * self.dim]
     }
 
     /// Exact k-NN by linear scan, `(index, distance)` ascending.
@@ -164,12 +225,13 @@ impl EmbeddingStore {
 
     /// Serialize to the framed binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16 + self.data.len() * 4);
+        let data = self.data();
+        let mut out = Vec::with_capacity(16 + data.len() * 4);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&(self.dim as u32).to_le_bytes());
         out.extend_from_slice(&(self.len() as u32).to_le_bytes());
-        for v in &self.data {
+        for v in data {
             out.extend_from_slice(&v.to_le_bytes());
         }
         out
@@ -197,7 +259,7 @@ impl EmbeddingStore {
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        Ok(EmbeddingStore { dim, data })
+        Ok(EmbeddingStore { dim, backing: Backing::Owned(data) })
     }
 }
 

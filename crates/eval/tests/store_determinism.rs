@@ -1,0 +1,93 @@
+//! Data-plane determinism gates:
+//!
+//! 1. Table II numbers are bitwise identical whether the embeddings sit in
+//!    owned memory or behind the mmap-backed `tmn-store` file, and
+//! 2. bitwise identical across 1, 2 and 4 evaluation shards, and
+//! 3. bitwise identical whether the ground truth is the dense in-RAM
+//!    `DistanceMatrix` or the blocked out-of-core store.
+//!
+//! Together these let the bench/serving paths swap any of the three axes
+//! (backing, shard count, ground-truth residency) with zero result drift.
+
+use tmn_eval::{evaluate_sharded, EmbeddingStore, Evaluation};
+use tmn_store::BlockedDistanceMatrix;
+use tmn_traj::metrics::{Metric, MetricParams};
+use tmn_traj::{DistanceMatrix, Point, Trajectory};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tmn-eval-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn corpus(n: usize) -> (Vec<Trajectory>, EmbeddingStore) {
+    let trajs: Vec<Trajectory> = (0..n)
+        .map(|i| {
+            let off = (i as f64 * 0.37) % 1.3;
+            (0..5 + i % 6)
+                .map(|t| Point::new(0.09 * t as f64 + off, off * 0.8 - 0.02 * t as f64))
+                .collect()
+        })
+        .collect();
+    let vecs: Vec<Vec<f32>> = trajs
+        .iter()
+        .map(|t| {
+            let pts = t.points();
+            let (a, b) = (&pts[0], &pts[pts.len() - 1]);
+            vec![a.lon as f32, a.lat as f32, b.lon as f32, b.lat as f32]
+        })
+        .collect();
+    (trajs, EmbeddingStore::from_vectors(&vecs))
+}
+
+fn bits(e: &Evaluation) -> (u64, u64, u64, Option<u64>, usize) {
+    (
+        e.hr10.to_bits(),
+        e.hr50.to_bits(),
+        e.r10_50.to_bits(),
+        e.spearman.map(f64::to_bits),
+        e.queries,
+    )
+}
+
+#[test]
+fn owned_and_mapped_stores_evaluate_bitwise_identically() {
+    let (trajs, owned) = corpus(42);
+    let dmat = DistanceMatrix::compute(&trajs, Metric::Hausdorff, &MetricParams::default(), 1);
+    let path = tmp("owned-vs-mapped.tmns");
+    owned.save(&path).unwrap();
+    let mapped = EmbeddingStore::open_mmap(&path).unwrap();
+    assert!(mapped.is_mapped() && !owned.is_mapped());
+    assert_eq!(owned, mapped, "contents must round-trip through the store file");
+
+    let queries: Vec<usize> = (0..42).step_by(2).collect();
+    let a = evaluate_sharded(&owned, &dmat, &queries, 2);
+    let b = evaluate_sharded(&mapped, &dmat, &queries, 2);
+    assert_eq!(bits(&a), bits(&b), "mmap backing changed evaluation results");
+}
+
+#[test]
+fn shard_counts_one_two_four_are_bitwise_identical() {
+    let (trajs, store) = corpus(38);
+    let dmat = DistanceMatrix::compute(&trajs, Metric::Dtw, &MetricParams::default(), 1);
+    let queries: Vec<usize> = (0..38).collect();
+    let one = evaluate_sharded(&store, &dmat, &queries, 1);
+    let two = evaluate_sharded(&store, &dmat, &queries, 2);
+    let four = evaluate_sharded(&store, &dmat, &queries, 4);
+    assert_eq!(bits(&one), bits(&two));
+    assert_eq!(bits(&one), bits(&four));
+}
+
+#[test]
+fn blocked_ground_truth_evaluates_bitwise_identically_to_dense() {
+    let (trajs, store) = corpus(33);
+    let dmat = DistanceMatrix::compute(&trajs, Metric::Hausdorff, &MetricParams::default(), 1);
+    let path = tmp("blocked-gt.tmns");
+    let blocked =
+        BlockedDistanceMatrix::compute(&path, &trajs, Metric::Hausdorff, &MetricParams::default(), 2, 8)
+            .unwrap();
+    let queries: Vec<usize> = (0..33).step_by(3).collect();
+    let dense = evaluate_sharded(&store, &dmat, &queries, 2);
+    let tiled = evaluate_sharded(&store, &blocked, &queries, 2);
+    assert_eq!(bits(&dense), bits(&tiled), "out-of-core ground truth changed results");
+}

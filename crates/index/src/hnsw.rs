@@ -125,6 +125,21 @@ impl Hnsw {
         matches!(self.store, VectorStore::Int8 { .. })
     }
 
+    /// Pre-size the node, tombstone and vector buffers for `additional`
+    /// more inserts. Bulk loaders (warm start from an on-disk store) call
+    /// this once so a known-size load doesn't pay O(log n) regrowths.
+    pub fn reserve(&mut self, additional: usize) {
+        self.nodes.reserve(additional);
+        self.deleted.reserve(additional);
+        match &mut self.store {
+            VectorStore::F32(v) => v.reserve(additional * self.dim),
+            VectorStore::Int8 { codes, scales } => {
+                codes.reserve(additional * self.dim);
+                scales.reserve(additional);
+            }
+        }
+    }
+
     /// Bytes spent on vector storage (codes + scales for the quantized
     /// store); excludes the graph itself, which is identical either way.
     pub fn memory_bytes(&self) -> usize {

@@ -161,6 +161,18 @@ impl ShardedHnsw {
         self.shards.iter().map(|s| s.len()).collect()
     }
 
+    /// Pre-size every shard for a bulk load of `additional` vectors,
+    /// assuming the router spreads them evenly (plus slack for the hashing
+    /// imbalance it actually produces).
+    pub fn reserve(&mut self, additional: usize) {
+        let per_shard = additional.div_ceil(self.shards.len());
+        let slack = per_shard / 4 + 1;
+        for (shard, globals) in self.shards.iter_mut().zip(&mut self.globals) {
+            shard.reserve(per_shard + slack);
+            globals.reserve(per_shard + slack);
+        }
+    }
+
     /// Insert a vector under a caller-chosen global id (ids must be unique;
     /// the routing is a pure function of the id).
     pub fn insert(&mut self, global_id: usize, v: &[f32], rng: &mut impl Rng) {

@@ -26,7 +26,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 use tmn_core::{ModelConfig, ModelKind, PairModel};
-use tmn_eval::encode_all;
+use tmn_eval::{encode_all, EmbeddingStore};
+use tmn_store::CorpusFile;
 use tmn_obs::metrics;
 use tmn_traj::Trajectory;
 
@@ -208,7 +209,58 @@ impl ServeEngine {
                 let model = kind.build(&mcfg);
                 assert!(!model.is_pair_dependent(), "pair-dependence was checked at start");
                 assert_eq!(model.dim(), thread_shards.dim(), "model dim vs shard dim");
-                run(model, thread_shards, rx, cfg.max_batch.max(1));
+                run(model, thread_shards, rx, cfg.max_batch.max(1), HashMap::new(), HashMap::new());
+            })
+            .expect("spawn tmn-serve engine thread");
+        Ok(ServeEngine { handle: ServeHandle { tx, shards }, join: Some(join) })
+    }
+
+    /// [`start`](ServeEngine::start), but warm: the corpus trajectories and
+    /// their embeddings come from the on-disk store (`tmn-store` files), so
+    /// the engine begins life with every shard populated and every cache
+    /// entry checksummed — no per-trajectory re-encoding, no cold queries.
+    /// Row `i` of both files becomes external id `i`.
+    ///
+    /// The embeddings must have been produced by the same model/weights the
+    /// engine is being started with; the engine checks dimensions and
+    /// counts, not provenance.
+    pub fn start_warm(
+        kind: ModelKind,
+        mcfg: &ModelConfig,
+        cfg: ServeConfig,
+        corpus_file: &CorpusFile,
+        embeddings: &EmbeddingStore,
+    ) -> Result<ServeEngine, ServeError> {
+        if kind == ModelKind::Tmn {
+            return Err(ServeError::PairDependentModel(kind.name()));
+        }
+        if embeddings.dim() != mcfg.dim {
+            return Err(ServeError::DimMismatch { expected: mcfg.dim, got: embeddings.dim() });
+        }
+        assert_eq!(
+            corpus_file.len(),
+            embeddings.len(),
+            "corpus and embedding stores must have one row per trajectory"
+        );
+        let shards = Arc::new(ShardSet::new(mcfg.dim, cfg.shard.clone()));
+        shards.warm_load(embeddings)?;
+        let view = corpus_file.view();
+        let mut corpus: HashMap<u64, Trajectory> = HashMap::with_capacity(corpus_file.len());
+        let mut cache: HashMap<u64, CacheEntry> = HashMap::with_capacity(corpus_file.len());
+        for i in 0..corpus_file.len() {
+            corpus.insert(i as u64, view.get(i));
+            cache.insert(i as u64, CacheEntry::new(embeddings.get(i).to_vec()));
+        }
+        let (tx, rx) = mpsc::channel();
+        let thread_shards = Arc::clone(&shards);
+        let mcfg = *mcfg;
+        let join = std::thread::Builder::new()
+            .name("tmn-serve-engine".into())
+            .spawn(move || {
+                let model = kind.build(&mcfg);
+                assert!(!model.is_pair_dependent(), "pair-dependence was checked at start");
+                assert_eq!(model.dim(), thread_shards.dim(), "model dim vs shard dim");
+                run(model, thread_shards, rx, cfg.max_batch.max(1), corpus, cache);
             })
             .expect("spawn tmn-serve engine thread");
         Ok(ServeEngine { handle: ServeHandle { tx, shards }, join: Some(join) })
@@ -242,10 +294,17 @@ impl Drop for ServeEngine {
 }
 
 /// The engine loop. Runs on the engine thread, which is the only place the
-/// model (and therefore any tensor) exists.
-fn run(model: Box<dyn PairModel>, shards: Arc<ShardSet>, rx: mpsc::Receiver<Req>, max_batch: usize) {
-    let mut corpus: HashMap<u64, Trajectory> = HashMap::new();
-    let mut cache: HashMap<u64, CacheEntry> = HashMap::new();
+/// model (and therefore any tensor) exists. `corpus`/`cache` arrive empty
+/// from [`ServeEngine::start`] and prefilled from
+/// [`ServeEngine::start_warm`]; the loop treats both identically.
+fn run(
+    model: Box<dyn PairModel>,
+    shards: Arc<ShardSet>,
+    rx: mpsc::Receiver<Req>,
+    max_batch: usize,
+    mut corpus: HashMap<u64, Trajectory>,
+    mut cache: HashMap<u64, CacheEntry>,
+) {
     loop {
         // Block for one request, then drain the admission window.
         let Ok(first) = rx.recv() else { return };

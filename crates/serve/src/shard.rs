@@ -284,6 +284,34 @@ impl ShardSet {
         Ok(())
     }
 
+    /// Bulk-load a fresh set from an embedding store: row `i` becomes
+    /// external id `i`. Each shard is pre-sized for exactly the rows the
+    /// router sends it, then filled through the normal insert path (same
+    /// epochs, same metrics) — so a warm-started set is indistinguishable
+    /// from one that ingested the rows over the wire.
+    pub fn warm_load(&self, store: &tmn_eval::EmbeddingStore) -> Result<(), ServeError> {
+        if store.dim() != self.dim {
+            return Err(ServeError::DimMismatch { expected: self.dim, got: store.dim() });
+        }
+        let mut per_shard = vec![0usize; self.shards.len()];
+        for i in 0..store.len() {
+            per_shard[self.shard_of(i as u64)] += 1;
+        }
+        for (s, &count) in per_shard.iter().enumerate() {
+            if count > 0 {
+                let mut inner = self.write_shard(s).ok_or(ServeError::DegradedShard(s))?;
+                inner.hnsw.reserve(count);
+                inner.ext_of_int.reserve(count);
+                inner.int_of_ext.reserve(count);
+                inner.vecs.reserve(count);
+            }
+        }
+        for i in 0..store.len() {
+            self.insert(i as u64, store.get(i))?;
+        }
+        Ok(())
+    }
+
     /// Delete external id `id`. `Ok(false)` when the id was not live.
     pub fn delete(&self, id: u64) -> Result<bool, ServeError> {
         let s = self.shard_of(id);

@@ -8,6 +8,110 @@
 use crate::metrics::{Metric, MetricParams};
 use crate::Trajectory;
 
+/// Read access to a symmetric pairwise ground-truth distance matrix.
+///
+/// Two implementations exist: the dense in-RAM [`DistanceMatrix`] below
+/// (small n), and `tmn_store::BlockedDistanceMatrix` — a tiled, CRC-framed
+/// on-disk matrix for corpora whose n² footprint does not fit in RAM. The
+/// trainer, samplers, and evaluator all read ground truth through this
+/// trait, so they are oblivious to where the matrix lives; the two paths
+/// are bitwise-identical on the same inputs (differentially tested).
+///
+/// `Sync` is a supertrait because the data-parallel trainer and the
+/// shard-per-core evaluator read rows from worker threads.
+pub trait GroundTruth: Sync {
+    /// Number of trajectories covered (the matrix is `len × len`).
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distance between trajectories `i` and `j` (symmetric, 0 on the
+    /// diagonal).
+    fn get(&self, i: usize, j: usize) -> f64;
+
+    /// Overwrite `out` with row `i` (all `len` distances from `i`). Takes a
+    /// caller-owned buffer so hot loops can reuse one allocation.
+    fn row_into(&self, i: usize, out: &mut Vec<f64>);
+
+    /// Maximum entry (used to normalize distances before `exp(−αD)`).
+    fn max_value(&self) -> f64;
+
+    /// Indices of the `k` nearest trajectories to `i` (self excluded), ties
+    /// broken by index. Matches [`DistanceMatrix::knn_of`] exactly.
+    fn knn_of(&self, i: usize, k: usize) -> Vec<usize> {
+        let mut row = Vec::with_capacity(self.len());
+        self.row_into(i, &mut row);
+        let mut idx: Vec<usize> = (0..self.len()).filter(|&j| j != i).collect();
+        idx.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap().then(a.cmp(&b)));
+        idx.truncate(k);
+        idx
+    }
+}
+
+impl GroundTruth for DistanceMatrix {
+    fn len(&self) -> usize {
+        DistanceMatrix::len(self)
+    }
+
+    fn get(&self, i: usize, j: usize) -> f64 {
+        DistanceMatrix::get(self, i, j)
+    }
+
+    fn row_into(&self, i: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(self.row(i));
+    }
+
+    fn max_value(&self) -> f64 {
+        DistanceMatrix::max_value(self)
+    }
+
+    fn knn_of(&self, i: usize, k: usize) -> Vec<usize> {
+        DistanceMatrix::knn_of(self, i, k)
+    }
+}
+
+/// The paper's similarity transform `s(d) = exp(−α·d/scale)` as a pure
+/// function, detached from any materialized matrix.
+///
+/// Applying it to a distance returns a value bitwise-identical to the
+/// corresponding [`SimilarityMatrix`] entry (both evaluate the same f64
+/// expression), so the trainer can compute similarities on demand from any
+/// [`GroundTruth`] instead of materializing an n² similarity matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimilarityTransform {
+    alpha: f64,
+    scale: f64,
+}
+
+impl SimilarityTransform {
+    /// Transform with `scale` taken from the ground truth's maximum entry
+    /// (clamped away from zero), matching [`DistanceMatrix::to_similarity`].
+    pub fn from_truth(truth: &dyn GroundTruth, alpha: f64) -> SimilarityTransform {
+        SimilarityTransform { alpha, scale: truth.max_value().max(f64::MIN_POSITIVE) }
+    }
+
+    pub fn new(alpha: f64, scale: f64) -> SimilarityTransform {
+        SimilarityTransform { alpha, scale: scale.max(f64::MIN_POSITIVE) }
+    }
+
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The distance normalization constant used by the transform.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Similarity of a distance value under the transform.
+    pub fn of_distance(&self, d: f64) -> f64 {
+        (-self.alpha * d / self.scale).exp()
+    }
+}
+
 /// A dense symmetric pairwise distance matrix.
 #[derive(Debug, Clone)]
 pub struct DistanceMatrix {
@@ -96,9 +200,9 @@ impl DistanceMatrix {
     /// The paper's similarity transform `S = exp(−α·D̂)` with `D̂` scaled to
     /// `[0, 1]` by the matrix maximum, so α has a dataset-independent effect.
     pub fn to_similarity(&self, alpha: f64) -> SimilarityMatrix {
-        let max = self.max_value().max(f64::MIN_POSITIVE);
-        let data = self.data.iter().map(|&d| (-alpha * d / max).exp()).collect();
-        SimilarityMatrix { n: self.n, data, alpha, scale: max }
+        let t = SimilarityTransform::from_truth(self, alpha);
+        let data = self.data.iter().map(|&d| t.of_distance(d)).collect();
+        SimilarityMatrix { n: self.n, data, alpha, scale: t.scale() }
     }
 
     /// Indices of the `k` nearest trajectories to row `i` (self excluded),
@@ -145,7 +249,13 @@ impl SimilarityMatrix {
 
     /// Similarity of an out-of-matrix distance value under the same transform.
     pub fn similarity_of_distance(&self, d: f64) -> f64 {
-        (-self.alpha * d / self.scale).exp()
+        self.transform().of_distance(d)
+    }
+
+    /// The transform (α, scale) this matrix was built with, as a pure
+    /// function usable without the matrix.
+    pub fn transform(&self) -> SimilarityTransform {
+        SimilarityTransform::new(self.alpha, self.scale)
     }
 }
 
@@ -210,6 +320,38 @@ mod tests {
         let m = DistanceMatrix::compute(&toy(), Metric::Dtw, &MetricParams::default(), 1);
         assert_eq!(m.knn_of(0, 2), vec![1, 2]);
         assert_eq!(m.knn_of(2, 1).len(), 1);
+    }
+
+    #[test]
+    fn transform_matches_materialized_matrix_bitwise() {
+        let m = DistanceMatrix::compute(&toy(), Metric::Dtw, &MetricParams::default(), 1);
+        let s = m.to_similarity(8.0);
+        let t = SimilarityTransform::from_truth(&m, 8.0);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(s.get(i, j).to_bits(), t.of_distance(m.get(i, j)).to_bits());
+            }
+        }
+        // Out-of-matrix distances agree too.
+        assert_eq!(t.of_distance(1.5).to_bits(), s.similarity_of_distance(1.5).to_bits());
+        assert_eq!(s.transform(), t);
+    }
+
+    #[test]
+    fn ground_truth_trait_matches_inherent_api() {
+        let m = DistanceMatrix::compute(&toy(), Metric::Dtw, &MetricParams::default(), 1);
+        let gt: &dyn GroundTruth = &m;
+        assert_eq!(gt.len(), 3);
+        assert_eq!(gt.max_value().to_bits(), m.max_value().to_bits());
+        let mut row = Vec::new();
+        for i in 0..3 {
+            gt.row_into(i, &mut row);
+            assert_eq!(row.as_slice(), m.row(i));
+            assert_eq!(gt.knn_of(i, 2), m.knn_of(i, 2));
+            for j in 0..3 {
+                assert_eq!(gt.get(i, j).to_bits(), m.get(i, j).to_bits());
+            }
+        }
     }
 
     #[test]

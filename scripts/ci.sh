@@ -37,4 +37,7 @@ cargo run --release -p tmn-bench --bin resume_smoke
 echo "== serve smoke (lifecycle, degraded mode, cache recovery) =="
 cargo run --release -p tmn-bench --bin serve_smoke
 
+echo "== store smoke (mmap round-trip, corruption, blocked GT, sharded eval, warm start) =="
+cargo run --release -p tmn-bench --bin store_smoke
+
 echo "CI OK"
