@@ -251,6 +251,172 @@ pub fn bilstm_seq(
     out
 }
 
+/// Resumable recurrent state for the **streaming** inference path: one
+/// live (bs = 1) sequence whose points arrive one at a time.
+///
+/// Appending a point costs exactly one gate-preprojection row plus one
+/// fused-cell elementwise step — and, because [`mm_nn`]'s dispatch is
+/// row-stable (`kernels::ROW_STABLE_MIN_KN`), the hidden state after `N`
+/// appends is **bitwise equal** to running [`lstm_seq`] / [`gru_seq`] /
+/// [`bilstm_seq`] over the full `N`-point sequence.
+///
+/// The state owns its stash buffer (it outlives any single call and
+/// travels across threads); per-step scratch still comes from the pool, so
+/// a warm step allocates nothing.
+pub enum RnnStream {
+    Lstm(LstmStream),
+    Gru(GruStream),
+    BiLstm(BiLstmStream),
+}
+
+impl RnnStream {
+    /// Number of points stepped into this stream so far.
+    pub fn len(&self) -> usize {
+        match self {
+            RnnStream::Lstm(s) => s.steps,
+            RnnStream::Gru(s) => s.steps,
+            RnnStream::BiLstm(s) => s.fwd.steps,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Streaming LSTM state: the `[7h]` fused-cell stash
+/// (`[h | c | i | f | g | o | tanh(c)]`), zero-initialized like
+/// [`lstm_seq`]'s `t = 0` state.
+pub struct LstmStream {
+    stash: Vec<f32>,
+    h: usize,
+    steps: usize,
+}
+
+impl LstmStream {
+    pub fn new(h: usize) -> LstmStream {
+        LstmStream { stash: vec![0.0; 7 * h], h, steps: 0 }
+    }
+
+    /// The current hidden state `[h]` (all zeros before the first step).
+    pub fn hidden(&self) -> &[f32] {
+        &self.stash[..self.h]
+    }
+}
+
+/// Streaming GRU state: the `[5h]` fused-cell stash
+/// (`[h | r | z | n | q]`).
+pub struct GruStream {
+    stash: Vec<f32>,
+    h: usize,
+    steps: usize,
+}
+
+impl GruStream {
+    pub fn new(h: usize) -> GruStream {
+        GruStream { stash: vec![0.0; 5 * h], h, steps: 0 }
+    }
+
+    pub fn hidden(&self) -> &[f32] {
+        &self.stash[..self.h]
+    }
+}
+
+/// Streaming BiLstm state. Only the forward direction carries incremental
+/// state; see [`bilstm_stream_step`] for the backward-direction contract.
+pub struct BiLstmStream {
+    fwd: LstmStream,
+}
+
+impl BiLstmStream {
+    pub fn new(h: usize) -> BiLstmStream {
+        BiLstmStream { fwd: LstmStream::new(h) }
+    }
+}
+
+/// One fused LSTM cell step over a caller-owned `[7h]` stash: mirrors one
+/// iteration of [`lstm_seq`]'s loop at `bs = 1` (same kernels, same op
+/// order, bitwise). Writes the new hidden row into `out` (`[h]`).
+fn lstm_cell_step(stash: &mut [f32], x: &[f32], d_in: usize, h: usize, w: &LstmWeights<'_>, out: &mut [f32]) {
+    debug_assert!(x.len() == d_in && stash.len() == 7 * h && out.len() == h);
+    let mut hp = take(h);
+    let mut cp = take(h);
+    let mut z = take(4 * h);
+    hp.copy_from_slice(&stash[..h]);
+    cp.copy_from_slice(&stash[h..2 * h]);
+    // z = bias + x·w_ih: the streaming slice of `preproject` (row-stable
+    // GEMM ⇒ bitwise equal to row t of the full [T·B, 4h] pre-projection).
+    z.copy_from_slice(w.bias);
+    mm_nn(x, w.w_ih, 1, d_in, 4 * h, &mut z);
+    mm_nn(&hp, w.w_hh, 1, h, 4 * h, &mut z);
+    lstm_step_elementwise(&z, &cp, 1, h, stash);
+    out.copy_from_slice(&stash[..h]);
+    recycle(hp);
+    recycle(cp);
+    recycle(z);
+}
+
+/// Advance a streaming LSTM by one input row `x` (`[d_in]`); writes the new
+/// hidden state into `out` (`[h]`). After `N` calls, `out` is bitwise equal
+/// to the last row of [`lstm_seq`] over the same `N` inputs.
+pub fn lstm_stream_step(s: &mut LstmStream, x: &[f32], d_in: usize, w: &LstmWeights<'_>, out: &mut [f32]) {
+    let h = s.h;
+    lstm_cell_step(&mut s.stash, x, d_in, h, w, out);
+    s.steps += 1;
+}
+
+/// Advance a streaming GRU by one input row; bitwise contract as
+/// [`lstm_stream_step`], mirroring [`gru_seq`]'s loop at `bs = 1`.
+pub fn gru_stream_step(s: &mut GruStream, x: &[f32], d_in: usize, w: &GruWeights<'_>, out: &mut [f32]) {
+    let h = s.h;
+    debug_assert!(x.len() == d_in && out.len() == h);
+    let mut hp = take(h);
+    hp.copy_from_slice(&s.stash[..h]);
+    let mut zr = take(2 * h);
+    zr.copy_from_slice(w.bias);
+    mm_nn(x, w.w_ih, 1, d_in, 2 * h, &mut zr);
+    mm_nn(&hp, w.w_hh, 1, h, 2 * h, &mut zr);
+    let mut q = take(h); // zero-filled rental = gru_seq's q.fill(0.0)
+    mm_nn(&hp, w.w_hn, 1, h, h, &mut q);
+    let mut pn = take(h);
+    pn.copy_from_slice(w.bias_n);
+    mm_nn(x, w.w_in, 1, d_in, h, &mut pn);
+    gru_step_elementwise(&zr, &q, &pn, &hp, 1, h, &mut s.stash);
+    out.copy_from_slice(&s.stash[..h]);
+    recycle(hp);
+    recycle(zr);
+    recycle(q);
+    recycle(pn);
+    s.steps += 1;
+}
+
+/// Advance a streaming BiLstm by one input row; writes the **newest output
+/// row** `[2h]` (forward ⊕ backward halves).
+///
+/// The forward half steps incrementally. The backward half of the newest
+/// row is, by construction, the backward LSTM's *first* step over the
+/// time-reversed sequence — one cell step on `x` from zero state, so the
+/// newest row is still O(1) per append. Backward halves of **earlier**
+/// rows see the future and change on every append; they are not maintained
+/// here — a caller needing the full `[m, 2h]` matrix must re-run
+/// [`bilstm_seq`] over the stored inputs (the documented O(m) re-scan).
+pub fn bilstm_stream_step(
+    s: &mut BiLstmStream,
+    x: &[f32],
+    d_in: usize,
+    fwd: &LstmWeights<'_>,
+    bwd: &LstmWeights<'_>,
+    out: &mut [f32],
+) {
+    let h = s.fwd.h;
+    debug_assert_eq!(out.len(), 2 * h);
+    lstm_stream_step(&mut s.fwd, x, d_in, fwd, &mut out[..h]);
+    // Fresh zero stash from the pool: the backward direction's step 0.
+    let mut bstash = take(7 * h);
+    lstm_cell_step(&mut bstash, x, d_in, h, bwd, &mut out[h..]);
+    recycle(bstash);
+}
+
 /// `out[b, t, :] = xs[b, m-1-t, :]` (rented buffer).
 pub fn reverse_time(xs: &[f32], bs: usize, m: usize, d: usize) -> Vec<f32> {
     let mut out = take(bs * m * d);

@@ -37,14 +37,37 @@ const MC: usize = 128;
 /// kernel; use the naive loops instead.
 const BLOCKED_MIN_FLOPS: usize = 8 * 1024;
 
+/// Row-stable dispatch threshold for [`mm_nn`]: the kernel choice depends
+/// on the per-row work `k·n` only, never on the row count `m`.
+///
+/// Every per-token forward in this codebase (input embeddings, gate
+/// pre-projections, MLP layers, recurrent cells) flows through `mm_nn`
+/// with row-independent inner dims, and the streaming inference path
+/// re-runs *single rows* of GEMMs that training and batch inference run
+/// over thousands of rows. The naive kernel accumulates each output row
+/// in k-order directly into `out`; the blocked kernel sums a register
+/// tile first (with FMA under AVX2) and adds it afterwards — different
+/// rounding. Both are per-row invariant in `m`, so as long as the *choice*
+/// between them ignores `m`, row `i` of an `m`-row call is bitwise equal
+/// to the same row computed alone. That invariant is what makes
+/// incremental (per-point) embeddings bitwise-equal to full re-runs; see
+/// DESIGN.md §12 and `crate::infer`'s stream states.
+const ROW_STABLE_MIN_KN: usize = 512;
+
 thread_local! {
     static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
     static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
 /// `out[m,n] += a[m,k] · b[k,n]`, both row-major.
+///
+/// Dispatch is **row-stable** ([`ROW_STABLE_MIN_KN`]): the naive/blocked
+/// choice looks at `k·n` only, so each output row's bits are independent
+/// of how many rows the call covers. `mm_nt`/`mm_tn` keep the total-flops
+/// rule — nothing requires row stability of them, and backward-pass GEMMs
+/// prefer the cheaper heuristic.
 pub fn mm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    if m * n * k < BLOCKED_MIN_FLOPS {
+    if k * n < ROW_STABLE_MIN_KN {
         reference::mm_nn(a, b, m, k, n, out);
     } else {
         gemm(m, k, n, |i, p| a[i * k + p], |p, j| b[p * n + j], out);
@@ -342,6 +365,31 @@ mod tests {
             mm_tn(&a, &b, m, k, n, &mut got);
             reference::mm_tn(&a, &b, m, k, n, &mut want);
             assert_close(&got, &want, m);
+        }
+    }
+
+    #[test]
+    fn mm_nn_rows_are_bitwise_independent_of_row_count() {
+        // The streaming contract: row i of an m-row call equals the same
+        // row computed alone, bit for bit, on both sides of the
+        // ROW_STABLE_MIN_KN boundary (naive k·n = 2·16, blocked k·n = 16·64
+        // — the embedding and gate-preprojection shapes).
+        for &(k, n) in &[(2usize, 16usize), (8, 64), (16, 64), (16, 16), (32, 128)] {
+            for &m in &[2usize, 7, 64, 300] {
+                let a = fill(m * k, 11);
+                let b = fill(k * n, 12);
+                let mut full = vec![0.0f32; m * n];
+                mm_nn(&a, &b, m, k, n, &mut full);
+                for i in [0, m / 2, m - 1] {
+                    let mut row = vec![0.0f32; n];
+                    mm_nn(&a[i * k..(i + 1) * k], &b, 1, k, n, &mut row);
+                    let full_row = &full[i * n..(i + 1) * n];
+                    assert!(
+                        row.iter().zip(full_row).all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "row {i} of {m}x{k}x{n} not bitwise row-stable"
+                    );
+                }
+            }
         }
     }
 

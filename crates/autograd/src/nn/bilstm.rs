@@ -63,6 +63,30 @@ impl Recurrent for BiLstm {
         let bwd = crate::infer::LstmWeights { w_ih: &bwi, w_hh: &bwh, bias: &bbd };
         crate::infer::bilstm_seq(xs, bs, m, self.input_dim, self.hidden, &fwd, &bwd)
     }
+
+    fn stream_begin(&self) -> crate::infer::RnnStream {
+        crate::infer::RnnStream::BiLstm(crate::infer::BiLstmStream::new(self.hidden))
+    }
+
+    /// Writes the **newest** output row `[2h]`. The forward half steps
+    /// incrementally; the newest row's backward half is the backward
+    /// LSTM's first step over the reversed sequence (one cell step from
+    /// zero state, O(1)). Earlier rows' backward halves see the future and
+    /// are not maintained — re-run
+    /// [`forward_seq_nograd`](Recurrent::forward_seq_nograd) over the
+    /// stored inputs when the full matrix is needed.
+    fn stream_step(&self, s: &mut crate::infer::RnnStream, x: &[f32], out: &mut [f32]) {
+        let crate::infer::RnnStream::BiLstm(s) = s else {
+            panic!("BiLstm::stream_step: stream state from a different backbone");
+        };
+        let (fw_ih, fw_hh, fb) = self.forward.weights();
+        let (bw_ih, bw_hh, bb) = self.backward.weights();
+        let (fwi, fwh, fbd) = (fw_ih.data(), fw_hh.data(), fb.data());
+        let (bwi, bwh, bbd) = (bw_ih.data(), bw_hh.data(), bb.data());
+        let fwd = crate::infer::LstmWeights { w_ih: &fwi, w_hh: &fwh, bias: &fbd };
+        let bwd = crate::infer::LstmWeights { w_ih: &bwi, w_hh: &bwh, bias: &bbd };
+        crate::infer::bilstm_stream_step(s, x, self.input_dim, &fwd, &bwd, out);
+    }
 }
 
 #[cfg(test)]

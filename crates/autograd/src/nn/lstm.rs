@@ -108,6 +108,19 @@ impl super::rnn::Recurrent for Lstm {
         let w = crate::infer::LstmWeights { w_ih: &wi, w_hh: &wh, bias: &bd };
         crate::infer::lstm_seq(xs, bs, m, self.input_dim, self.hidden, &w)
     }
+
+    fn stream_begin(&self) -> crate::infer::RnnStream {
+        crate::infer::RnnStream::Lstm(crate::infer::LstmStream::new(self.hidden))
+    }
+
+    fn stream_step(&self, s: &mut crate::infer::RnnStream, x: &[f32], out: &mut [f32]) {
+        let crate::infer::RnnStream::Lstm(s) = s else {
+            panic!("Lstm::stream_step: stream state from a different backbone");
+        };
+        let (wi, wh, bd) = (self.w_ih.data(), self.w_hh.data(), self.bias.data());
+        let w = crate::infer::LstmWeights { w_ih: &wi, w_hh: &wh, bias: &bd };
+        crate::infer::lstm_stream_step(s, x, self.input_dim, &w, out);
+    }
 }
 
 #[cfg(test)]

@@ -402,6 +402,48 @@ mod tests {
     }
 
     #[test]
+    fn stream_section_classification() {
+        // The streaming block: append throughput up, append latency down,
+        // shape/workload leaves informational. `reindex_ratio` in
+        // particular must never gate — it tracks how the workload's
+        // embedding drift interacts with `reembed_min_delta`, and either
+        // direction can be the healthy one.
+        assert_eq!(classify("stream.appends_per_sec"), Direction::HigherBetter);
+        assert_eq!(classify("stream.append_ns_p50"), Direction::LowerBetter);
+        assert_eq!(classify("stream.append_ns_p99"), Direction::LowerBetter);
+        assert_eq!(classify("stream.reindex_ratio"), Direction::Info);
+        assert_eq!(classify("stream.streams"), Direction::Info);
+        assert_eq!(classify("stream.appends"), Direction::Info);
+        // The engine counters exported through the metrics snapshot stay
+        // informational too (they scale with the workload, not the code).
+        assert_eq!(classify("metrics.counters[0].stream_appends_total"), Direction::Info);
+        assert_eq!(classify("metrics.counters[1].stream_reindex_total"), Direction::Info);
+        // But the append-latency histogram percentiles gate as latencies.
+        assert_eq!(classify("metrics.histograms[0].append_ns_p99"), Direction::LowerBetter);
+    }
+
+    #[test]
+    fn stream_metrics_gate_in_their_classified_directions() {
+        let thresholds = default_thresholds();
+        // A 20% append-throughput drop and a 20% p99 growth both fire…
+        let base = flat(&[
+            ("stream.appends_per_sec", 1000.0),
+            ("stream.append_ns_p99", 50_000.0),
+            ("stream.reindex_ratio", 0.8),
+        ]);
+        let head = flat(&[
+            ("stream.appends_per_sec", 800.0),
+            ("stream.append_ns_p99", 60_000.0),
+            ("stream.reindex_ratio", 0.2),
+        ]);
+        let rows = diff_metrics(&base, &head, &thresholds);
+        assert!(rows[0].regressed, "append throughput drop must gate");
+        assert!(rows[1].regressed, "append p99 growth must gate");
+        // …while even a large reindex-ratio swing never does.
+        assert!(!rows[2].regressed, "reindex_ratio is informational");
+    }
+
+    #[test]
     fn store_section_classification() {
         // The data-plane block: bandwidth up, sizes/latencies/walls down.
         // `_mb_s` must win over the `_s` duration suffix — a faster build

@@ -42,6 +42,7 @@ fn main() {
         ServeConfig {
             shard: ShardSetConfig { shards: 3, shortlist: 48, ..Default::default() },
             max_batch: 16,
+            ..Default::default()
         },
     )
     .expect("start serve engine");

@@ -114,6 +114,7 @@ fn main() {
     let cfg = ServeConfig {
         shard: ShardSetConfig { shards: 2, shortlist: 32, ..Default::default() },
         max_batch: 8,
+        ..Default::default()
     };
     let engine = ServeEngine::start_warm(ModelKind::TmnNm, &mcfg, cfg, &corpus, &store)
         .expect("warm start");

@@ -1,0 +1,134 @@
+//! CI smoke for the streaming path: replay a trajectory point-by-point
+//! through `append_point`, assert the incrementally maintained index
+//! embedding is *bitwise* equal to a whole-trajectory insert, exercise the
+//! sliding-window query and the `reembed_min_delta` churn filter, and
+//! check the stream counters flow through the exporters.
+//!
+//! Runs in a couple of seconds; wired into `scripts/ci.sh` after
+//! `store_smoke`.
+
+use tmn_core::{ModelConfig, ModelKind};
+use tmn_obs::{export, metrics};
+use tmn_serve::{ServeConfig, ServeEngine, ServeError, ShardSetConfig};
+use tmn_traj::{Point, Trajectory};
+
+fn traj(seed: u64, len: usize) -> Trajectory {
+    let pts = (0..len)
+        .map(|i| {
+            let h = tmn_index::splitmix64(seed * 131 + i as u64);
+            Point::new((h % 1000) as f64 / 1000.0, ((h >> 10) % 1000) as f64 / 1000.0)
+        })
+        .collect();
+    Trajectory::new(pts)
+}
+
+fn main() {
+    metrics::set_enabled(true);
+    metrics::reset();
+
+    let cfg = || ServeConfig {
+        shard: ShardSetConfig { shards: 2, shortlist: 48, ..Default::default() },
+        max_batch: 16,
+        ..Default::default() // reembed_min_delta = 0.0: every append re-indexes
+    };
+    let engine = ServeEngine::start(ModelKind::TmnNm, &ModelConfig { dim: 16, seed: 9 }, cfg())
+        .expect("start serve engine");
+    let h = engine.handle();
+
+    // Replay: stream one trajectory point-by-point into id 1, and insert
+    // the finished trajectory whole as id 100. The streamed index entry
+    // must track every prefix and end bitwise-equal to the whole insert.
+    let full = traj(7, 24);
+    for (i, p) in full.points().iter().enumerate() {
+        let out = h.append_point(1, *p).expect("append");
+        assert_eq!(out.len, i + 1, "stream length drifted");
+        assert!(out.reindexed, "reembed_min_delta=0 must re-index every append");
+        if i == 0 {
+            assert!(out.delta.is_infinite(), "first append has no previous embedding");
+        } else {
+            assert!(out.delta.is_finite() && out.delta >= 0.0, "bad delta {}", out.delta);
+        }
+    }
+    h.insert(100, full.clone()).expect("whole insert");
+    let streamed = engine.shards().get_vec(1).expect("streamed vec");
+    let whole = engine.shards().get_vec(100).expect("whole vec");
+    assert_eq!(
+        streamed.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        whole.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "incremental index embedding diverged from whole-trajectory insert"
+    );
+
+    // Resume: a trajectory inserted whole keeps accepting appends — the
+    // engine replays the stored points into a fresh stream once, then
+    // steps incrementally. Growing a 10-point insert by the remaining 14
+    // points must land on the same bits again.
+    h.insert(200, full.prefix(10)).expect("prefix insert");
+    for p in &full.points()[10..] {
+        h.append_point(200, *p).expect("resumed append");
+    }
+    let resumed = engine.shards().get_vec(200).expect("resumed vec");
+    assert_eq!(
+        resumed.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        whole.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "append after whole insert diverged from the grown trajectory"
+    );
+
+    // Query: the live stream is its own nearest neighbour, and the
+    // sliding-window query equals an ad-hoc query over the same suffix.
+    for id in 0..32u64 {
+        h.insert(1000 + id, traj(50 + id, 12)).expect("corpus insert");
+    }
+    let top = h.query(full.clone(), 3).expect("query");
+    assert!(top.iter().any(|&(id, d)| (id == 1 || id == 100 || id == 200) && d <= 1e-6),
+        "live stream not its own nearest neighbour: {top:?}");
+    let windowed = h.query_window(1, 8, 5).expect("window query");
+    let adhoc = h.query(full.last_window(8), 5).expect("ad-hoc window query");
+    assert_eq!(windowed, adhoc, "window query diverged from ad-hoc suffix query");
+    assert_eq!(
+        h.query_window(777, 8, 5),
+        Err(ServeError::UnknownId(777)),
+        "window query on unknown id must fail"
+    );
+
+    // Flag: the reindex counters must account for every append (38 total:
+    // 24 streamed + 14 resumed), all re-indexed under delta = 0.
+    let snap = metrics::snapshot();
+    assert_eq!(snap.counter(tmn_serve::STREAM_APPENDS_TOTAL), Some(38), "append counter");
+    assert_eq!(snap.counter(tmn_serve::STREAM_REINDEX_TOTAL), Some(38), "reindex counter");
+    let hist = snap.histogram(tmn_serve::APPEND_NS).expect("append_ns histogram");
+    assert_eq!(hist.count, 38, "append_ns histogram count");
+    let prom = export::to_prometheus(&snap);
+    for needle in ["tmn_stream_appends_total 38", "tmn_stream_reindex_total 38", "tmn_append_ns"] {
+        assert!(prom.contains(needle), "exposition lacks {needle}:\n{prom}");
+    }
+    engine.shutdown();
+
+    // Churn filter: under an unreachable reembed_min_delta only the first
+    // append (infinite delta) re-indexes; the index then keeps serving the
+    // first embedding while the stream keeps advancing.
+    let engine = ServeEngine::start(
+        ModelKind::TmnNm,
+        &ModelConfig { dim: 16, seed: 9 },
+        ServeConfig { reembed_min_delta: f64::MAX, ..cfg() },
+    )
+    .expect("start filtered engine");
+    let h = engine.handle();
+    let first = h.append_point(5, full[0]).expect("first append");
+    assert!(first.reindexed, "infinite first delta must re-index");
+    let frozen = engine.shards().get_vec(5).expect("frozen vec");
+    for p in &full.points()[1..] {
+        let out = h.append_point(5, *p).expect("filtered append");
+        assert!(!out.reindexed, "delta {} must not clear f64::MAX", out.delta);
+    }
+    assert_eq!(engine.shards().get_vec(5), Some(frozen), "skipped append churned the index");
+    let snap = metrics::snapshot();
+    assert_eq!(snap.counter(tmn_serve::STREAM_REINDEX_TOTAL), Some(39), "filtered reindex count");
+    engine.shutdown();
+
+    println!(
+        "stream smoke OK: 24-point replay bitwise-matches whole insert, resume after insert, \
+         window query, reembed_min_delta filter, counters at {}/{} appends/reindexes",
+        snap.counter(tmn_serve::STREAM_APPENDS_TOTAL).unwrap_or(0),
+        39,
+    );
+}

@@ -85,6 +85,25 @@ struct ServeRow {
 }
 
 #[derive(serde::Serialize)]
+struct StreamRow {
+    /// Live streams driven concurrently through one engine.
+    streams: usize,
+    /// Points appended across all streams.
+    appends: usize,
+    /// End-to-end `append_point` calls/second through the engine thread
+    /// (incremental stream step + conditional re-index + reply).
+    appends_per_sec: f64,
+    /// Per-append wall latency percentiles in nanoseconds, measured at the
+    /// handle (includes the channel round-trip the serving path pays).
+    append_ns_p50: f64,
+    append_ns_p99: f64,
+    /// Fraction of appends whose moved embedding was re-inserted into the
+    /// index; the rest fell under `reembed_min_delta` and skipped the
+    /// churn. Workload-dependent, so informational rather than gated.
+    reindex_ratio: f64,
+}
+
+#[derive(serde::Serialize)]
 struct StoreRow {
     /// Trajectories in the on-disk corpus (10x the table-experiment corpus
     /// at every scale — the point of the data plane is headroom).
@@ -128,6 +147,7 @@ struct Report {
     kernels: Vec<KernelRow>,
     infer: InferRow,
     serve: ServeRow,
+    stream: StreamRow,
     store: StoreRow,
     /// Training-side metrics registry at end of run (`train_batch_ns`
     /// histogram, batch counter, wall/memory gauges) — the payload
@@ -294,6 +314,7 @@ fn bench_serve(ds: &Dataset, dim: usize) -> ServeRow {
         ServeConfig {
             shard: ShardSetConfig { shards, shortlist: 64, ..Default::default() },
             max_batch: 16,
+            ..Default::default()
         },
     )
     .expect("serve engine start");
@@ -320,6 +341,63 @@ fn bench_serve(ds: &Dataset, dim: usize) -> ServeRow {
         query_p50_ns,
         query_p99_ns,
         shard_imbalance,
+    }
+}
+
+/// Benchmark the streaming path: replay test trajectories point-by-point
+/// through `append_point` and measure per-append latency, throughput, and
+/// how often the moved embedding actually re-entered the index under a
+/// small `reembed_min_delta`.
+fn bench_stream(ds: &Dataset, dim: usize) -> StreamRow {
+    use tmn_serve::{ServeConfig, ServeEngine, ShardSetConfig};
+
+    let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(2, 4);
+    let engine = ServeEngine::start(
+        ModelKind::TmnNm,
+        &ModelConfig { dim, seed: 42 },
+        ServeConfig {
+            shard: ShardSetConfig { shards, shortlist: 64, ..Default::default() },
+            max_batch: 16,
+            // Small but nonzero: late appends to a long trajectory barely
+            // move the embedding, so the skip path gets real coverage.
+            reembed_min_delta: 1e-3,
+        },
+    )
+    .expect("stream bench engine start");
+    let handle = engine.handle();
+
+    let n_streams = ds.test.len().min(24);
+    // Warm-up stream: fills the engine thread's buffer pool and the HNSW
+    // entry layers so the timed appends measure the steady state.
+    for p in ds.test[0].points() {
+        handle.append_point(1_000_000, *p).expect("warm-up append");
+    }
+
+    let mut samples: Vec<f64> = Vec::new();
+    let mut reindexed = 0usize;
+    let t0 = Instant::now();
+    for (i, t) in ds.test.iter().take(n_streams).enumerate() {
+        let id = 2_000_000 + i as u64;
+        for p in t.points() {
+            let ta = Instant::now();
+            let out = handle.append_point(id, *p).expect("stream append");
+            samples.push(ta.elapsed().as_nanos() as f64);
+            reindexed += out.reindexed as usize;
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    engine.shutdown();
+
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: usize| samples[(samples.len() * p / 100).min(samples.len() - 1)];
+    let appends = samples.len();
+    StreamRow {
+        streams: n_streams,
+        appends,
+        appends_per_sec: appends as f64 / wall.max(1e-12),
+        append_ns_p50: pct(50),
+        append_ns_p99: pct(99),
+        reindex_ratio: reindexed as f64 / appends.max(1) as f64,
     }
 }
 
@@ -558,6 +636,18 @@ fn main() {
         serve.shard_imbalance,
     );
 
+    let stream = bench_stream(&ds, dim);
+    eprintln!(
+        "  stream ({} streams, {} appends): {:.0} appends/s, p50 {:.0}ns p99 {:.0}ns, \
+         reindex ratio {:.3} under reembed_min_delta",
+        stream.streams,
+        stream.appends,
+        stream.appends_per_sec,
+        stream.append_ns_p50,
+        stream.append_ns_p99,
+        stream.reindex_ratio,
+    );
+
     let mut table = Table::new(&["Threads", "Steps/s", "Pairs/s", "Speedup"]);
     for r in &training {
         table.row(&[
@@ -579,6 +669,7 @@ fn main() {
         kernels: kernel_rows,
         infer,
         serve,
+        stream,
         store,
         metrics: metrics::snapshot(),
         note: "Data-parallel workers run on scoped OS threads; on a single-core host the \

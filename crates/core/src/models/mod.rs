@@ -9,17 +9,21 @@
 
 mod neutraj;
 mod srn;
+mod stream;
 mod t3s;
 mod tmn;
 
 pub use neutraj::NeuTraj;
 pub use srn::Srn;
+pub use stream::ModelStream;
 pub use t3s::T3s;
 pub use tmn::Tmn;
 
 use crate::batch::{PairBatch, SideBatch};
+use stream::StreamInner;
 use tmn_autograd::nn::ParamSet;
 use tmn_autograd::Tensor;
+use tmn_traj::{Point, Trajectory};
 
 /// Per-time-step representations for a batch of pairs.
 pub struct EncodedBatch {
@@ -75,6 +79,49 @@ pub trait PairModel {
     /// graphed forward under `no_grad`).
     fn embed_nograd(&self, _own: &SideBatch, _other: &SideBatch) -> Option<Vec<f32>> {
         None
+    }
+
+    /// Begin a streaming embedding of ONE trajectory, or `None` when the
+    /// model cannot embed single trajectories point-by-point: pair-dependent
+    /// TMN (the matching mechanism needs the paired side) and attention
+    /// variants without a tape-free path (T3S multi-head).
+    ///
+    /// Recurrent models return resumable hidden state; attention models
+    /// return a *windowed* stream whose appends re-embed the buffered window
+    /// in full — check [`ModelStream::is_windowed`] when append cost matters.
+    fn stream_begin(&self) -> Option<ModelStream> {
+        None
+    }
+
+    /// Append one point to a stream from [`stream_begin`](Self::stream_begin)
+    /// and return the grown trajectory's `d`-dim embedding.
+    ///
+    /// For recurrent models the result is bitwise equal to
+    /// [`embed_nograd`](Self::embed_nograd) over the full point sequence at
+    /// batch size 1, at O(1) cost per append (one embed row + one cell step).
+    /// For windowed models it equals a full re-embed over the current window.
+    ///
+    /// The default handles the windowed fallback; models that hand out an
+    /// RNN stream override it. Panics if `state` came from another model
+    /// kind.
+    fn embed_incremental(&self, state: &mut ModelStream, point: Point) -> Vec<f32> {
+        match &mut state.inner {
+            StreamInner::Window { points, cap } => {
+                if points.len() == *cap {
+                    points.remove(0);
+                }
+                points.push(point);
+                state.appended += 1;
+                let traj = Trajectory::new(points.clone());
+                let side = SideBatch::build(&[&traj], traj.len());
+                self.embed_nograd(&side, &side)
+                    .expect("windowed stream requires a tape-free embed path")
+            }
+            StreamInner::Rnn(_) => panic!(
+                "{}: model handed out an RNN stream but does not override embed_incremental",
+                self.name()
+            ),
+        }
     }
 
     fn name(&self) -> &'static str;

@@ -76,31 +76,38 @@ impl NeuTraj {
         for (row, cells) in side.grid_ids.iter().enumerate() {
             for (t, &cell) in cells.iter().enumerate().take(side.lens[row]) {
                 let q = &x_detached[(row * m + t) * self.half..(row * m + t) * self.half + self.half];
-                // Attention over occupied neighbour cells; score = dot of the
-                // query with the entry's first d̂ components.
-                let mut weights: Vec<(usize, f32)> = Vec::new();
-                for nb in grid_neighbourhood(cell) {
-                    if let Some(entry) = &mem[nb] {
-                        let score: f32 = q.iter().zip(entry.iter()).map(|(a, b)| a * b).sum();
-                        weights.push((nb, score));
-                    }
-                }
-                if weights.is_empty() {
-                    continue;
-                }
-                let max = weights.iter().map(|w| w.1).fold(f32::NEG_INFINITY, f32::max);
-                let mut denom = 0.0f32;
-                for w in &mut weights {
-                    w.1 = (w.1 - max).exp();
-                    denom += w.1;
-                }
                 let slot = &mut out[(row * m + t) * self.dim..(row * m + t + 1) * self.dim];
-                for (nb, w) in weights {
-                    let entry = mem[nb].as_ref().expect("weighted cells are occupied");
-                    for (o, e) in slot.iter_mut().zip(entry) {
-                        *o += w / denom * e;
-                    }
-                }
+                Self::memory_read_point(&mem, cell, q, slot);
+            }
+        }
+    }
+
+    /// One point's attention read over the 3×3 neighbourhood of `cell` into
+    /// the pre-zeroed `slot` (`[d]`). Shared by the batched path above and
+    /// the streaming path so both compute identical bits.
+    fn memory_read_point(mem: &[Option<Vec<f32>>], cell: usize, q: &[f32], slot: &mut [f32]) {
+        // Attention over occupied neighbour cells; score = dot of the
+        // query with the entry's first d̂ components.
+        let mut weights: Vec<(usize, f32)> = Vec::new();
+        for nb in grid_neighbourhood(cell) {
+            if let Some(entry) = &mem[nb] {
+                let score: f32 = q.iter().zip(entry.iter()).map(|(a, b)| a * b).sum();
+                weights.push((nb, score));
+            }
+        }
+        if weights.is_empty() {
+            return;
+        }
+        let max = weights.iter().map(|w| w.1).fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for w in &mut weights {
+            w.1 = (w.1 - max).exp();
+            denom += w.1;
+        }
+        for (nb, w) in weights {
+            let entry = mem[nb].as_ref().expect("weighted cells are occupied");
+            for (o, e) in slot.iter_mut().zip(entry) {
+                *o += w / denom * e;
             }
         }
     }
@@ -180,6 +187,39 @@ impl PairModel for NeuTraj {
     /// representations, so the data-parallel trainer must not split batches.
     fn supports_data_parallel(&self) -> bool {
         false
+    }
+
+    /// Streams against the *current* memory snapshot — bitwise equal to a
+    /// full re-embed as long as the memory is not written to in between
+    /// (writes only happen in [`post_step`](PairModel::post_step), i.e.
+    /// during training).
+    fn stream_begin(&self) -> Option<super::ModelStream> {
+        Some(super::ModelStream::rnn(self.lstm.stream_begin()))
+    }
+
+    fn embed_incremental(
+        &self,
+        state: &mut super::ModelStream,
+        point: tmn_traj::Point,
+    ) -> Vec<f32> {
+        let s = state.rnn_mut("NeuTraj");
+        let feat = [point.lon as f32, point.lat as f32];
+        let mut x = self.embed.forward_nograd(&feat, 1);
+        infer::leaky_relu_inplace(&mut x);
+        let mut read = infer::take(self.dim);
+        {
+            let mem = self.memory.borrow();
+            let cell = crate::batch::grid_id(point.lon, point.lat);
+            Self::memory_read_point(&mem, cell, &x[..self.half], &mut read[..self.dim]);
+        }
+        let lstm_in = infer::concat_cols(&x, &read, 1, self.half, self.dim);
+        infer::recycle(read);
+        infer::recycle(x);
+        let mut out = vec![0.0f32; self.dim];
+        self.lstm.stream_step(s, &lstm_in, &mut out);
+        infer::recycle(lstm_in);
+        state.appended += 1;
+        out
     }
 
     fn name(&self) -> &'static str {

@@ -64,6 +64,26 @@ impl PairModel for Srn {
         Some(out)
     }
 
+    fn stream_begin(&self) -> Option<super::ModelStream> {
+        Some(super::ModelStream::rnn(self.lstm.stream_begin()))
+    }
+
+    fn embed_incremental(
+        &self,
+        state: &mut super::ModelStream,
+        point: tmn_traj::Point,
+    ) -> Vec<f32> {
+        let s = state.rnn_mut("SRN");
+        let feat = [point.lon as f32, point.lat as f32];
+        let mut x = self.embed.forward_nograd(&feat, 1);
+        infer::leaky_relu_inplace(&mut x);
+        let mut out = vec![0.0f32; self.dim];
+        self.lstm.stream_step(s, &x, &mut out);
+        infer::recycle(x);
+        state.appended += 1;
+        out
+    }
+
     fn name(&self) -> &'static str {
         "SRN"
     }

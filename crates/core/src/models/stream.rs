@@ -1,0 +1,70 @@
+//! Per-trajectory streaming state for incremental embedding.
+//!
+//! A [`ModelStream`] is created by [`PairModel::stream_begin`] and advanced
+//! one GPS point at a time by [`PairModel::embed_incremental`]. Recurrent
+//! models (SRN, NeuTraj, TMN-NM with either backbone) keep resumable hidden
+//! state — appending a point costs one embed row, one RNN cell step and (for
+//! TMN-NM) one MLP row, and the returned embedding is **bitwise equal** to a
+//! full [`PairModel::embed_nograd`] re-run over the grown trajectory at
+//! batch size 1. Attention models (T3S) cannot update self-attention
+//! incrementally and fall back to a *windowed* stream: points are buffered
+//! (oldest dropped past the cap) and every append re-embeds the window in
+//! full — equally exact over the window, but O(window) per append.
+//!
+//! [`PairModel::stream_begin`]: super::PairModel::stream_begin
+//! [`PairModel::embed_incremental`]: super::PairModel::embed_incremental
+//! [`PairModel::embed_nograd`]: super::PairModel::embed_nograd
+
+use tmn_autograd::infer::RnnStream;
+use tmn_traj::Point;
+
+/// Resumable state for one trajectory being embedded point-by-point.
+pub struct ModelStream {
+    pub(crate) inner: StreamInner,
+    pub(crate) appended: usize,
+}
+
+pub(crate) enum StreamInner {
+    /// Recurrent hidden state: one cell step per appended point.
+    Rnn(RnnStream),
+    /// Buffered window re-embedded in full on every append (attention
+    /// models). `cap` bounds the window; the oldest point is dropped first.
+    Window { points: Vec<Point>, cap: usize },
+}
+
+impl ModelStream {
+    pub(crate) fn rnn(s: RnnStream) -> ModelStream {
+        ModelStream { inner: StreamInner::Rnn(s), appended: 0 }
+    }
+
+    pub(crate) fn window(cap: usize) -> ModelStream {
+        assert!(cap > 0, "ModelStream: window cap must be positive");
+        ModelStream { inner: StreamInner::Window { points: Vec::new(), cap }, appended: 0 }
+    }
+
+    /// Total points appended so far (windowed streams count evicted points
+    /// too; the *current* window may be shorter).
+    pub fn len(&self) -> usize {
+        self.appended
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.appended == 0
+    }
+
+    /// Whether appends fall back to a full re-embed over a buffered window
+    /// (attention models) instead of an O(1) incremental step.
+    pub fn is_windowed(&self) -> bool {
+        matches!(self.inner, StreamInner::Window { .. })
+    }
+
+    /// The recurrent state, for models that stream incrementally.
+    pub(crate) fn rnn_mut(&mut self, model: &str) -> &mut RnnStream {
+        match &mut self.inner {
+            StreamInner::Rnn(s) => s,
+            StreamInner::Window { .. } => {
+                panic!("{model}: stream state from a different (windowed) model")
+            }
+        }
+    }
+}

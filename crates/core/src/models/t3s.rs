@@ -161,6 +161,17 @@ impl PairModel for T3s {
         Some(out)
     }
 
+    /// Self-attention mixes every point with every other, so there is no
+    /// O(1) incremental update — T3S streams through the windowed fallback
+    /// (full re-embed per append, window capped at [`MAX_POSITIONS`]). The
+    /// multi-head variant has no tape-free path and cannot stream at all.
+    fn stream_begin(&self) -> Option<super::ModelStream> {
+        if self.mha.is_some() {
+            return None;
+        }
+        Some(super::ModelStream::window(MAX_POSITIONS))
+    }
+
     fn name(&self) -> &'static str {
         "T3S"
     }

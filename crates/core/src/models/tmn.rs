@@ -146,6 +146,38 @@ impl PairModel for Tmn {
         Some(out)
     }
 
+    /// TMN-NM only: the matching variant's representations depend on the
+    /// paired trajectory, so a single-trajectory stream is meaningless.
+    fn stream_begin(&self) -> Option<super::ModelStream> {
+        if self.matching {
+            return None;
+        }
+        Some(super::ModelStream::rnn(self.rnn.stream_begin()))
+    }
+
+    fn embed_incremental(
+        &self,
+        state: &mut super::ModelStream,
+        point: tmn_traj::Point,
+    ) -> Vec<f32> {
+        assert!(!self.matching, "TMN: pair-dependent model has no stream");
+        let s = state.rnn_mut("TMN-NM");
+        let feat = [point.lon as f32, point.lat as f32];
+        let mut x = self.embed.forward_nograd(&feat, 1);
+        infer::leaky_relu_inplace(&mut x);
+        let mut z = infer::take(self.dim);
+        self.rnn.stream_step(s, &x, &mut z);
+        infer::recycle(x);
+        // Eq. 13 on just the newest hidden row: the MLP is row-wise, so this
+        // matches the newest row of the full-sequence MLP bitwise.
+        let o = self.mlp.forward_nograd(&z, 1);
+        infer::recycle(z);
+        let out = o[..self.dim].to_vec();
+        infer::recycle(o);
+        state.appended += 1;
+        out
+    }
+
     fn name(&self) -> &'static str {
         if self.matching {
             "TMN"

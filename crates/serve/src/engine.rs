@@ -16,8 +16,8 @@
 
 use crate::shard::{ShardSet, ShardSetConfig, ShardSetStatus};
 use crate::{
-    ServeError, SERVE_BATCH_SIZE, SERVE_CACHE_CORRUPT_TOTAL, SERVE_CACHE_HITS_TOTAL,
-    SERVE_QUERIES_TOTAL,
+    ServeError, APPEND_NS, SERVE_BATCH_SIZE, SERVE_CACHE_CORRUPT_TOTAL, SERVE_CACHE_HITS_TOTAL,
+    SERVE_QUERIES_TOTAL, STREAM_APPENDS_TOTAL, STREAM_REINDEX_TOTAL,
 };
 use serde::Serialize;
 use std::collections::HashMap;
@@ -29,7 +29,7 @@ use tmn_core::{ModelConfig, ModelKind, PairModel};
 use tmn_eval::{encode_all, EmbeddingStore};
 use tmn_store::CorpusFile;
 use tmn_obs::metrics;
-use tmn_traj::Trajectory;
+use tmn_traj::{Point, Trajectory};
 
 /// Request-plane configuration.
 #[derive(Debug, Clone)]
@@ -38,11 +38,18 @@ pub struct ServeConfig {
     /// Admission window: how many queued requests one engine iteration
     /// drains (and therefore how many embeddings one forward amortizes).
     pub max_batch: usize,
+    /// Streaming re-index threshold: an appended point re-inserts the
+    /// trajectory into the HNSW index only when its embedding moved at
+    /// least this far (L2) from the currently *indexed* one. `0.0` (the
+    /// default) re-indexes on every append. While an append is skipped the
+    /// index and warm cache keep serving the last indexed embedding; the
+    /// stream state itself is always exact.
+    pub reembed_min_delta: f64,
 }
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
-        ServeConfig { shard: ShardSetConfig::default(), max_batch: 32 }
+        ServeConfig { shard: ShardSetConfig::default(), max_batch: 32, reembed_min_delta: 0.0 }
     }
 }
 
@@ -54,9 +61,24 @@ enum Req {
     Query { traj: Trajectory, k: usize, reply: Reply<Vec<(u64, f64)>> },
     QueryBatch { trajs: Vec<Trajectory>, k: usize, reply: Reply<Vec<Vec<(u64, f64)>>> },
     QueryId { id: u64, k: usize, reply: Reply<Vec<(u64, f64)>> },
+    AppendPoint { id: u64, point: Point, reply: Reply<AppendOutcome> },
+    QueryWindow { id: u64, last_k: usize, k: usize, reply: Reply<Vec<(u64, f64)>> },
     Status { reply: Reply<EngineStatus> },
     CorruptCache { id: u64, reply: Reply<bool> },
     Shutdown,
+}
+
+/// What one [`ServeHandle::append_point`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppendOutcome {
+    /// Points the trajectory holds after this append.
+    pub len: usize,
+    /// Whether the moved embedding was re-inserted into the index (false
+    /// when the move stayed under `reembed_min_delta`).
+    pub reindexed: bool,
+    /// L2 distance between the new embedding and the previously indexed
+    /// one (`inf` for a trajectory's first point).
+    pub delta: f64,
 }
 
 /// A cached embedding plus the checksum taken when it was computed. The
@@ -99,6 +121,8 @@ pub struct EngineStatus {
     pub corpus: usize,
     /// Warm embeddings currently cached.
     pub cache_entries: usize,
+    /// Live per-id streaming states (trajectories being appended to).
+    pub streams: usize,
     pub shards: ShardSetStatus,
     /// True while any shard is fenced off; the engine is still serving,
     /// from the remaining shards.
@@ -160,6 +184,32 @@ impl ServeHandle {
         self.call(|reply| Req::QueryId { id, k, reply })
     }
 
+    /// Append one GPS point to trajectory `id`'s live stream. The embedding
+    /// advances by one incremental model step (exact — bitwise equal to
+    /// re-embedding the grown trajectory) and is re-inserted into the index
+    /// unless it moved less than `reembed_min_delta` since the last
+    /// re-index. Unknown ids start a fresh one-point trajectory; ids
+    /// inserted whole (or warm-loaded) are resumed by replaying their
+    /// stored points through the stream once.
+    ///
+    /// Fails with [`ServeError::DegradedShard`] — before any model work —
+    /// when the id's shard is fenced off.
+    pub fn append_point(&self, id: u64, point: Point) -> Result<AppendOutcome, ServeError> {
+        self.call(|reply| Req::AppendPoint { id, point, reply })
+    }
+
+    /// Top-`k` neighbours of the sliding window holding the last `last_k`
+    /// points of corpus trajectory `id` (the whole trajectory when it is
+    /// shorter). The window is embedded as a standalone trajectory.
+    pub fn query_window(
+        &self,
+        id: u64,
+        last_k: usize,
+        k: usize,
+    ) -> Result<Vec<(u64, f64)>, ServeError> {
+        self.call(|reply| Req::QueryWindow { id, last_k, k, reply })
+    }
+
     pub fn status(&self) -> Result<EngineStatus, ServeError> {
         self.call(|reply| Req::Status { reply })
     }
@@ -209,7 +259,60 @@ impl ServeEngine {
                 let model = kind.build(&mcfg);
                 assert!(!model.is_pair_dependent(), "pair-dependence was checked at start");
                 assert_eq!(model.dim(), thread_shards.dim(), "model dim vs shard dim");
-                run(model, thread_shards, rx, cfg.max_batch.max(1), HashMap::new(), HashMap::new());
+                run(
+                    model,
+                    thread_shards,
+                    rx,
+                    cfg.max_batch.max(1),
+                    cfg.reembed_min_delta,
+                    HashMap::new(),
+                    HashMap::new(),
+                );
+            })
+            .expect("spawn tmn-serve engine thread");
+        Ok(ServeEngine { handle: ServeHandle { tx, shards }, join: Some(join) })
+    }
+
+    /// [`start`](ServeEngine::start), but with trained weights: `params`
+    /// is an encoded parameter buffer from
+    /// [`tmn_core::checkpoint::save_params`] (typically a trained model's
+    /// `params()`). Models are thread-local by design, so weights cross
+    /// the thread boundary as bytes, not tensors; the buffer is validated
+    /// against a scratch model here (shape, names, checksums) before the
+    /// engine thread loads it into its own copy.
+    pub fn start_with_params(
+        kind: ModelKind,
+        mcfg: &ModelConfig,
+        cfg: ServeConfig,
+        params: Vec<u8>,
+    ) -> Result<ServeEngine, ServeError> {
+        if kind == ModelKind::Tmn {
+            return Err(ServeError::PairDependentModel(kind.name()));
+        }
+        let scratch = kind.build(mcfg);
+        tmn_core::checkpoint::load_params(scratch.params(), &params)
+            .map_err(|e| ServeError::BadWeights(e.to_string()))?;
+        let shards = Arc::new(ShardSet::new(mcfg.dim, cfg.shard.clone()));
+        let (tx, rx) = mpsc::channel();
+        let thread_shards = Arc::clone(&shards);
+        let mcfg = *mcfg;
+        let join = std::thread::Builder::new()
+            .name("tmn-serve-engine".into())
+            .spawn(move || {
+                let model = kind.build(&mcfg);
+                tmn_core::checkpoint::load_params(model.params(), &params)
+                    .expect("weight buffer was validated before spawn");
+                assert!(!model.is_pair_dependent(), "pair-dependence was checked at start");
+                assert_eq!(model.dim(), thread_shards.dim(), "model dim vs shard dim");
+                run(
+                    model,
+                    thread_shards,
+                    rx,
+                    cfg.max_batch.max(1),
+                    cfg.reembed_min_delta,
+                    HashMap::new(),
+                    HashMap::new(),
+                );
             })
             .expect("spawn tmn-serve engine thread");
         Ok(ServeEngine { handle: ServeHandle { tx, shards }, join: Some(join) })
@@ -260,7 +363,15 @@ impl ServeEngine {
                 let model = kind.build(&mcfg);
                 assert!(!model.is_pair_dependent(), "pair-dependence was checked at start");
                 assert_eq!(model.dim(), thread_shards.dim(), "model dim vs shard dim");
-                run(model, thread_shards, rx, cfg.max_batch.max(1), corpus, cache);
+                run(
+                    model,
+                    thread_shards,
+                    rx,
+                    cfg.max_batch.max(1),
+                    cfg.reembed_min_delta,
+                    corpus,
+                    cache,
+                );
             })
             .expect("spawn tmn-serve engine thread");
         Ok(ServeEngine { handle: ServeHandle { tx, shards }, join: Some(join) })
@@ -302,9 +413,13 @@ fn run(
     shards: Arc<ShardSet>,
     rx: mpsc::Receiver<Req>,
     max_batch: usize,
+    reembed_min_delta: f64,
     mut corpus: HashMap<u64, Trajectory>,
     mut cache: HashMap<u64, CacheEntry>,
 ) {
+    // Live per-id stream states — the resumable model side of the warm
+    // cache (which holds the *indexed* embedding for the same id).
+    let mut streams: HashMap<u64, tmn_core::models::ModelStream> = HashMap::new();
     loop {
         // Block for one request, then drain the admission window.
         let Ok(first) = rx.recv() else { return };
@@ -317,10 +432,21 @@ fn run(
         }
 
         // One fused forward for every trajectory the batch needs embedded.
+        // Inserts routed to a degraded shard are refused later without an
+        // embed slot: checking here keeps the fused forward from spending
+        // work on a write that cannot be applied.
         let mut trajs: Vec<Trajectory> = Vec::new();
-        for req in &batch {
+        let mut skip_insert = vec![false; batch.len()];
+        for (i, req) in batch.iter().enumerate() {
             match req {
-                Req::Insert { traj, .. } | Req::Query { traj, .. } => trajs.push(traj.clone()),
+                Req::Insert { id, traj, .. } => {
+                    if shards.is_degraded(shards.shard_of(*id)) {
+                        skip_insert[i] = true;
+                    } else {
+                        trajs.push(traj.clone());
+                    }
+                }
+                Req::Query { traj, .. } => trajs.push(traj.clone()),
                 Req::QueryBatch { trajs: ts, .. } => trajs.extend(ts.iter().cloned()),
                 _ => {}
             }
@@ -334,9 +460,13 @@ fn run(
 
         let mut cursor = 0usize;
         let mut shutdown = false;
-        for req in batch {
+        for (i, req) in batch.into_iter().enumerate() {
             match req {
                 Req::Insert { id, traj, reply } => {
+                    if skip_insert[i] {
+                        let _ = reply.send(Err(ServeError::DegradedShard(shards.shard_of(id))));
+                        continue;
+                    }
                     let emb = &embeds[cursor];
                     cursor += 1;
                     let res = shards.insert(id, emb);
@@ -344,6 +474,9 @@ fn run(
                         corpus.insert(id, traj);
                         // Re-inserts overwrite: explicit cache invalidation.
                         cache.insert(id, CacheEntry::new(emb.clone()));
+                        // The whole trajectory replaced whatever was
+                        // streamed; the next append re-seeds from the corpus.
+                        streams.remove(&id);
                     }
                     let _ = reply.send(res);
                 }
@@ -352,6 +485,7 @@ fn run(
                     if let Ok(true) = res {
                         corpus.remove(&id);
                         cache.remove(&id);
+                        streams.remove(&id);
                     }
                     let _ = reply.send(res);
                 }
@@ -380,6 +514,78 @@ fn run(
                     metrics::counter_add(SERVE_QUERIES_TOTAL, 1);
                     let _ = reply.send(shards.query(&emb, k));
                 }
+                Req::AppendPoint { id, point, reply } => {
+                    let t0 = Instant::now();
+                    let shard = shards.shard_of(id);
+                    // Degraded check before any model work: a refused
+                    // append consumes nothing, so the caller can retry the
+                    // same point once the shard is unfenced.
+                    if shards.is_degraded(shard) {
+                        let _ = reply.send(Err(ServeError::DegradedShard(shard)));
+                        continue;
+                    }
+                    let stream = match streams.entry(id) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            let Some(mut s) = model.stream_begin() else {
+                                let _ = reply.send(Err(ServeError::NoStreamPath(model.name())));
+                                continue;
+                            };
+                            // Resume an id inserted whole (or warm-loaded):
+                            // replay its stored points through the stream,
+                            // once, O(len).
+                            if let Some(existing) = corpus.get(&id) {
+                                for &p in existing.points() {
+                                    model.embed_incremental(&mut s, p);
+                                }
+                            }
+                            slot.insert(s)
+                        }
+                    };
+                    let emb = model.embed_incremental(stream, point);
+                    let entry = corpus.entry(id).or_default();
+                    entry.push(point);
+                    let len = entry.len();
+                    let delta = match cache.get(&id) {
+                        Some(indexed) => l2(&emb, &indexed.vec),
+                        None => f64::INFINITY, // first point always indexes
+                    };
+                    let res = if delta >= reembed_min_delta {
+                        // Re-insert = tombstone the old vector + insert the
+                        // new one; cache mirrors whatever the index holds.
+                        match shards.insert(id, &emb) {
+                            Ok(()) => {
+                                cache.insert(id, CacheEntry::new(emb));
+                                metrics::counter_add(STREAM_REINDEX_TOTAL, 1);
+                                Ok(AppendOutcome { len, reindexed: true, delta })
+                            }
+                            // Lost a race with a concurrent fault: the point
+                            // is consumed (the stream cannot step back) but
+                            // the index keeps the previous embedding.
+                            Err(e) => Err(e),
+                        }
+                    } else {
+                        Ok(AppendOutcome { len, reindexed: false, delta })
+                    };
+                    metrics::counter_add(STREAM_APPENDS_TOTAL, 1);
+                    metrics::observe_ns(APPEND_NS, t0.elapsed().as_nanos() as u64);
+                    let _ = reply.send(res);
+                }
+                Req::QueryWindow { id, last_k, k, reply } => {
+                    // Resolved at dispatch (not admission) time so appends
+                    // earlier in the same batch are already visible.
+                    let res = match corpus.get(&id) {
+                        None => Err(ServeError::UnknownId(id)),
+                        Some(traj) => {
+                            let window = traj.last_window(last_k.max(1));
+                            let emb =
+                                embed(model.as_ref(), std::slice::from_ref(&window)).remove(0);
+                            metrics::counter_add(SERVE_QUERIES_TOTAL, 1);
+                            shards.query(&emb, k)
+                        }
+                    };
+                    let _ = reply.send(res);
+                }
                 Req::Status { reply } => {
                     let shard_status = shards.status();
                     let degraded = shard_status.degraded_mode;
@@ -388,6 +594,7 @@ fn run(
                         dim: model.dim(),
                         corpus: corpus.len(),
                         cache_entries: cache.len(),
+                        streams: streams.len(),
                         shards: shard_status,
                         degraded_mode: degraded,
                     }));
@@ -409,6 +616,18 @@ fn run(
             return;
         }
     }
+}
+
+/// L2 distance between two embeddings (f64 accumulation).
+fn l2(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = (*x - *y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Timed wrapper over the fused tape-free forward.
@@ -463,6 +682,7 @@ mod tests {
         let cfg = ServeConfig {
             shard: ShardSetConfig { shards: 2, shortlist: 32, ..Default::default() },
             max_batch: 8,
+            ..Default::default()
         };
         ServeEngine::start(ModelKind::TmnNm, &ModelConfig { dim: 16, seed: 7 }, cfg).unwrap()
     }
@@ -537,6 +757,121 @@ mod tests {
         assert!(!status.degraded_mode);
         let json = status.to_json();
         assert!(json.contains("\"degraded_mode\":false"), "flag missing from {json}");
+    }
+
+    #[test]
+    fn append_point_matches_whole_insert_bitwise() {
+        // Stream id 1 point-by-point; insert the identical trajectory whole
+        // as id 2. Sequential blocking calls keep every admission batch at
+        // size 1, so both ids embed at bs = 1 and the indexed vectors must
+        // be bitwise equal — the engine-level face of the stream oracle.
+        let engine = engine();
+        let h = engine.handle();
+        let t = traj(77, 9);
+        for (i, &p) in t.points().iter().enumerate() {
+            let out = h.append_point(1, p).unwrap();
+            assert_eq!(out.len, i + 1);
+            assert!(out.reindexed, "default config re-indexes every append");
+        }
+        h.insert(2, t).unwrap();
+        let (v1, v2) = (engine.shards().get_vec(1).unwrap(), engine.shards().get_vec(2).unwrap());
+        assert_eq!(v1, v2, "streamed index entry diverged from whole-trajectory insert");
+        // The streamed id serves queries like any other corpus entry.
+        assert_eq!(h.query_id(1, 2).unwrap()[0].0, 1);
+        assert_eq!(h.status().unwrap().streams, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn append_resumes_a_whole_inserted_trajectory() {
+        let engine = engine();
+        let h = engine.handle();
+        let t = traj(31, 7);
+        h.insert(4, t.clone()).unwrap();
+        let p = Point { lon: 0.42, lat: 0.17 };
+        let out = h.append_point(4, p).unwrap();
+        assert_eq!(out.len, 8, "append must see the 7 stored points");
+        // Reference: the grown trajectory inserted whole under another id.
+        let mut grown = t;
+        grown.push(p);
+        h.insert(5, grown).unwrap();
+        assert_eq!(engine.shards().get_vec(4).unwrap(), engine.shards().get_vec(5).unwrap());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn reembed_min_delta_skips_index_churn() {
+        let cfg = ServeConfig {
+            shard: ShardSetConfig { shards: 2, shortlist: 32, ..Default::default() },
+            max_batch: 8,
+            reembed_min_delta: f64::MAX,
+        };
+        let engine =
+            ServeEngine::start(ModelKind::TmnNm, &ModelConfig { dim: 16, seed: 7 }, cfg).unwrap();
+        let h = engine.handle();
+        let t = traj(12, 6);
+        let first = h.append_point(9, t.points()[0]).unwrap();
+        assert!(first.reindexed, "a trajectory's first point must always index");
+        assert!(first.delta.is_infinite());
+        let indexed = engine.shards().get_vec(9).unwrap();
+        for &p in &t.points()[1..] {
+            let out = h.append_point(9, p).unwrap();
+            assert!(!out.reindexed, "delta {} cannot clear f64::MAX", out.delta);
+            assert!(out.delta.is_finite());
+        }
+        // The index (and the cache feeding query_id) still hold the first
+        // point's embedding: skipped appends cause zero churn.
+        assert_eq!(engine.shards().get_vec(9).unwrap(), indexed);
+        assert_eq!(h.status().unwrap().corpus, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn query_window_embeds_the_last_points() {
+        let engine = engine();
+        let h = engine.handle();
+        for id in 0..15u64 {
+            h.insert(id, traj(id, 10)).unwrap();
+        }
+        let t = traj(50, 12);
+        for &p in t.points() {
+            h.append_point(50, p).unwrap();
+        }
+        // The window query must rank exactly like an ad-hoc query over the
+        // same suffix (both embed at bs = 1 → bitwise-equal embeddings).
+        let window = t.last_window(4);
+        assert_eq!(h.query_window(50, 4, 5).unwrap(), h.query(window, 5).unwrap());
+        // Window larger than the trajectory = the whole trajectory.
+        assert_eq!(h.query_window(50, 99, 5).unwrap(), h.query(t, 5).unwrap());
+        assert_eq!(h.query_window(777, 4, 5), Err(ServeError::UnknownId(777)));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn degraded_shard_refuses_writes_before_embedding() {
+        // Regression: inserts used to burn an embed slot even when the
+        // target shard was fenced off. The empty trajectory is the tripwire
+        // — embedding it panics in SideBatch::build, so if the engine
+        // survives and answers DegradedShard, no embedding was attempted.
+        let engine = engine();
+        let h = engine.handle();
+        let victim = engine.shards().shard_of(3);
+        // A corpus id on the OTHER shard, so reads stay answerable.
+        let healthy = (0..64u64).find(|&id| engine.shards().shard_of(id) != victim).unwrap();
+        h.insert(healthy, traj(healthy, 8)).unwrap();
+        engine.shards().fault_poison(victim);
+        assert_eq!(h.insert(3, Trajectory::default()), Err(ServeError::DegradedShard(victim)));
+        // Appends check the shard before any model work too: no stream
+        // state may be created for a refused append.
+        let streams_before = h.status().unwrap().streams;
+        assert_eq!(
+            h.append_point(3, Point { lon: 0.1, lat: 0.2 }),
+            Err(ServeError::DegradedShard(victim))
+        );
+        assert_eq!(h.status().unwrap().streams, streams_before);
+        // The engine thread is alive and healthy shards keep serving.
+        assert!(!h.query(traj(healthy, 8), 1).unwrap().is_empty());
+        engine.shutdown();
     }
 
     #[test]

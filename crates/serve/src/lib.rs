@@ -34,7 +34,7 @@
 mod engine;
 mod shard;
 
-pub use engine::{EngineStatus, ServeConfig, ServeEngine, ServeHandle};
+pub use engine::{AppendOutcome, EngineStatus, ServeConfig, ServeEngine, ServeHandle};
 pub use shard::{ShardSet, ShardSetConfig, ShardSetStatus, ShardStatus};
 
 /// Gauge: trajectories embedded by the last admission batch (the fan-in the
@@ -57,6 +57,14 @@ pub const SERVE_CACHE_HITS_TOTAL: &str = "serve_cache_hits_total";
 pub const SERVE_CACHE_CORRUPT_TOTAL: &str = "serve_cache_corrupt_total";
 /// Counter: shard compactions (tombstone-triggered rebuilds).
 pub const SERVE_COMPACTIONS_TOTAL: &str = "serve_compactions_total";
+/// Counter: points appended to live trajectory streams.
+pub const STREAM_APPENDS_TOTAL: &str = "stream_appends_total";
+/// Counter: appends whose moved embedding was re-inserted into the index
+/// (the rest fell under `reembed_min_delta` and skipped the churn).
+pub const STREAM_REINDEX_TOTAL: &str = "stream_reindex_total";
+/// Histogram: wall time of one `append_point` (stream step + optional
+/// re-index), in nanoseconds.
+pub const APPEND_NS: &str = "append_ns";
 
 /// Errors surfaced by the serving engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +80,12 @@ pub enum ServeError {
     /// models (full TMN) re-encode per candidate and cannot sit behind a
     /// vector index.
     PairDependentModel(&'static str),
+    /// The model cannot embed trajectories point-by-point (no
+    /// `stream_begin` path), so `append_point` is unavailable.
+    NoStreamPath(&'static str),
+    /// An encoded weight buffer handed to `start_with_params` failed to
+    /// load into the requested model (wrong shapes, names, or corruption).
+    BadWeights(String),
     /// The engine thread is gone (shut down or crashed).
     EngineDown,
 }
@@ -87,6 +101,10 @@ impl std::fmt::Display for ServeError {
             ServeError::PairDependentModel(name) => {
                 write!(f, "{name} is pair-dependent and cannot serve from a vector index")
             }
+            ServeError::NoStreamPath(name) => {
+                write!(f, "{name} cannot embed incrementally; append_point is unavailable")
+            }
+            ServeError::BadWeights(why) => write!(f, "weight buffer rejected: {why}"),
             ServeError::EngineDown => write!(f, "serving engine is not running"),
         }
     }

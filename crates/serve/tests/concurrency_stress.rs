@@ -202,6 +202,7 @@ fn concurrent_handles_agree_with_the_engine_corpus() {
         ServeConfig {
             shard: ShardSetConfig { shards: 2, shortlist: 32, ..Default::default() },
             max_batch: 16,
+            ..Default::default()
         },
     )
     .unwrap();

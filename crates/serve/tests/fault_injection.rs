@@ -110,6 +110,7 @@ fn degraded_mode_is_visible_in_json_and_prometheus() {
         ServeConfig {
             shard: ShardSetConfig { shards: 3, shortlist: 32, ..Default::default() },
             max_batch: 8,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -153,6 +154,7 @@ fn corrupt_cache_entry_is_detected_and_recomputed() {
         ServeConfig {
             shard: ShardSetConfig { shards: 2, shortlist: 32, ..Default::default() },
             max_batch: 8,
+            ..Default::default()
         },
     )
     .unwrap();

@@ -36,6 +36,7 @@ fn cfg() -> ServeConfig {
     ServeConfig {
         shard: ShardSetConfig { shards: 2, shortlist: 32, ..Default::default() },
         max_batch: 8,
+        ..Default::default()
     }
 }
 

@@ -12,7 +12,9 @@ use crate::Trajectory;
 /// returns `(i, f(a[..i], b[..i]))` for `i = stride, 2·stride, .., ≤ min(m,n)`.
 ///
 /// `stride` must be positive. The paper samples sub-trajectories at every
-/// 10th point (Section IV-D).
+/// 10th point (Section IV-D). An empty trajectory on either side has no
+/// prefixes to compare, so the result is empty (streaming callers probe
+/// before the first point arrives).
 pub fn prefix_distances(
     metric: Metric,
     a: &Trajectory,
@@ -21,7 +23,9 @@ pub fn prefix_distances(
     params: &MetricParams,
 ) -> Vec<(usize, f64)> {
     assert!(stride > 0, "prefix_distances: stride must be positive");
-    assert!(!a.is_empty() && !b.is_empty(), "prefix_distances: empty trajectory");
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
     let upto = a.len().min(b.len());
     let wanted: Vec<usize> = (1..=upto / stride).map(|k| k * stride).collect();
     if wanted.is_empty() {
@@ -75,6 +79,9 @@ fn diagonal_dp(
         DpKind::Lcss => vec![0.0; n + 1],
     };
     let mut cur = vec![0.0f64; n + 1];
+    // `wanted` is sorted ascending, so an advancing cursor replaces the
+    // O(|wanted|) membership scan each row.
+    let mut next_wanted = 0usize;
     for i in 1..=m {
         cur[0] = match kind {
             DpKind::Dtw | DpKind::Frechet => f64::INFINITY,
@@ -108,7 +115,8 @@ fn diagonal_dp(
                 }
             };
         }
-        if wanted.contains(&i) {
+        if next_wanted < wanted.len() && wanted[next_wanted] == i {
+            next_wanted += 1;
             let v = match kind {
                 DpKind::Lcss => 1.0 - cur[i] / i as f64, // LCSS distance form
                 _ => cur[i],
@@ -129,6 +137,7 @@ fn hausdorff_prefixes(a: &Trajectory, b: &Trajectory, wanted: &[usize]) -> Vec<(
     let mut min_a = vec![f64::INFINITY; upto];
     let mut min_b = vec![f64::INFINITY; upto];
     let mut out = Vec::with_capacity(wanted.len());
+    let mut next_wanted = 0usize;
     for i in 1..=upto {
         // The new opposing points b_{i-1} / a_{i-1} refresh existing entries…
         for p in 0..i - 1 {
@@ -141,7 +150,8 @@ fn hausdorff_prefixes(a: &Trajectory, b: &Trajectory, wanted: &[usize]) -> Vec<(
             min_a[i - 1] = min_a[i - 1].min(pa[i - 1].dist_sq(&pb[q]));
             min_b[i - 1] = min_b[i - 1].min(pb[i - 1].dist_sq(&pa[q]));
         }
-        if wanted.contains(&i) {
+        if next_wanted < wanted.len() && wanted[next_wanted] == i {
+            next_wanted += 1;
             let da = min_a[..i].iter().copied().fold(0.0, f64::max);
             let db = min_b[..i].iter().copied().fold(0.0, f64::max);
             out.push((i, da.max(db).sqrt()));
@@ -201,6 +211,37 @@ mod tests {
         let a = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0)]);
         let b = Trajectory::from_coords(&[(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)]);
         assert!(prefix_distances(Metric::Dtw, &a, &b, 10, &MetricParams::default()).is_empty());
+    }
+
+    #[test]
+    fn empty_trajectory_yields_no_prefixes() {
+        // Regression: this used to panic; streaming callers probe before the
+        // first point arrives, so empty sides must return cleanly.
+        let empty = Trajectory::default();
+        let full = Trajectory::from_coords(&[(0.0, 0.0), (1.0, 0.0)]);
+        let params = MetricParams::default();
+        for metric in Metric::ALL {
+            assert!(prefix_distances(metric, &empty, &full, 1, &params).is_empty(), "{metric}");
+            assert!(prefix_distances(metric, &full, &empty, 1, &params).is_empty(), "{metric}");
+            assert!(prefix_distances(metric, &empty, &empty, 1, &params).is_empty(), "{metric}");
+        }
+    }
+
+    #[test]
+    fn stride_one_hits_every_prefix() {
+        // Exercises the advancing wanted-cursor on consecutive rows.
+        let mut rng = StdRng::seed_from_u64(15);
+        let a = random_traj(&mut rng, 9);
+        let b = random_traj(&mut rng, 7);
+        let params = MetricParams { eps: 0.2, ..Default::default() };
+        for metric in Metric::ALL {
+            let fast = prefix_distances(metric, &a, &b, 1, &params);
+            assert_eq!(fast.len(), 7, "{metric}");
+            for &(i, d) in &fast {
+                let naive = metric.distance(&a.prefix(i), &b.prefix(i), &params);
+                assert!((d - naive).abs() < 1e-9, "{metric} prefix {i}: {d} vs {naive}");
+            }
+        }
     }
 
     #[test]

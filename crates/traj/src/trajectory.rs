@@ -42,6 +42,13 @@ impl Trajectory {
         Trajectory { points: self.points[..i].to_vec() }
     }
 
+    /// The suffix sub-trajectory holding the last `min(k, len)` points —
+    /// the sliding window that streaming similarity queries embed.
+    pub fn last_window(&self, k: usize) -> Trajectory {
+        let n = self.points.len();
+        Trajectory { points: self.points[n.saturating_sub(k)..].to_vec() }
+    }
+
     /// Axis-aligned bounding box `((min_lon, min_lat), (max_lon, max_lat))`.
     pub fn bbox(&self) -> Option<((f64, f64), (f64, f64))> {
         if self.points.is_empty() {
@@ -142,6 +149,16 @@ mod tests {
         let p = t.prefix(2);
         assert_eq!(p.len(), 2);
         assert_eq!(p[1], Point::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn last_window_clamps_to_length() {
+        let t = t();
+        assert_eq!(t.last_window(2).points(), &t.points()[2..]);
+        assert_eq!(t.last_window(4), t);
+        assert_eq!(t.last_window(99), t);
+        assert!(t.last_window(0).is_empty());
+        assert!(Trajectory::default().last_window(3).is_empty());
     }
 
     #[test]

@@ -40,4 +40,7 @@ cargo run --release -p tmn-bench --bin serve_smoke
 echo "== store smoke (mmap round-trip, corruption, blocked GT, sharded eval, warm start) =="
 cargo run --release -p tmn-bench --bin store_smoke
 
+echo "== stream smoke (point-by-point replay, bitwise parity, window query, reindex filter) =="
+cargo run --release -p tmn-bench --bin stream_smoke
+
 echo "CI OK"
