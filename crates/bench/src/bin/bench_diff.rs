@@ -41,6 +41,13 @@ enum Direction {
 
 fn classify(path: &str) -> Direction {
     let leaf = path.rsplit('.').next().unwrap_or(path).to_ascii_lowercase();
+    // Exemplar fields ride along with histogram snapshots but carry one
+    // arbitrary traced observation plus its trace id — not aggregates, so
+    // they must never gate (decided first: `exemplar_ns` would otherwise
+    // match the `_ns` latency rule below).
+    if leaf.contains("exemplar") || leaf.ends_with("_id") {
+        return Direction::Info;
+    }
     const HIGHER: &[&str] = &["per_sec", "gflops", "speedup", "throughput", "coverage", "qps"];
     if HIGHER.iter().any(|t| leaf.contains(t))
         || leaf.starts_with("hr")
@@ -58,7 +65,10 @@ fn classify(path: &str) -> Direction {
     const LOWER_SUFFIX: &[&str] = &["_ns", "_ms", "_s", "_bytes"];
     // `_ns` appears as a substring too so percentile leaves (`embed_ns_p99`)
     // gate as latencies even though they don't *end* with the unit.
-    const LOWER_SUBSTR: &[&str] = &["seconds", "wall", "latency", "bytes", "time", "_ns", "imbalance"];
+    // `overhead` covers `trace.overhead_pct`: instrumentation cost gates
+    // downward like a latency.
+    const LOWER_SUBSTR: &[&str] =
+        &["seconds", "wall", "latency", "bytes", "time", "_ns", "imbalance", "overhead"];
     if LOWER_SUFFIX.iter().any(|t| leaf.ends_with(t))
         || LOWER_SUBSTR.iter().any(|t| leaf.contains(t))
     {
@@ -420,6 +430,37 @@ mod tests {
         assert_eq!(classify("metrics.counters[1].stream_reindex_total"), Direction::Info);
         // But the append-latency histogram percentiles gate as latencies.
         assert_eq!(classify("metrics.histograms[0].append_ns_p99"), Direction::LowerBetter);
+    }
+
+    #[test]
+    fn trace_section_classification() {
+        // The tracing block: both qps passes gate upward, the measured
+        // overhead gates downward, and the descriptive leaves stay
+        // informational.
+        assert_eq!(classify("trace.trace_off_qps"), Direction::HigherBetter);
+        assert_eq!(classify("trace.trace_on_qps"), Direction::HigherBetter);
+        assert_eq!(classify("trace.overhead_pct"), Direction::LowerBetter);
+        assert_eq!(classify("trace.traced_queries"), Direction::Info);
+        assert_eq!(classify("trace.spans_per_query"), Direction::Info);
+        assert_eq!(classify("trace.flight_captured"), Direction::Info);
+    }
+
+    #[test]
+    fn queue_metrics_classification() {
+        // Queue depth is workload shape (how bursty the callers were),
+        // never a gate; queue-wait percentiles are real latencies.
+        assert_eq!(classify("metrics.gauges[0].serve_queue_depth"), Direction::Info);
+        assert_eq!(classify("metrics.histograms[0].serve_queue_wait_ns_p99"), Direction::LowerBetter);
+        assert_eq!(classify("metrics.histograms[0].serve_queue_wait_ns_p50"), Direction::LowerBetter);
+    }
+
+    #[test]
+    fn exemplar_fields_never_gate() {
+        // One arbitrary traced observation + its trace id ride along with
+        // every histogram snapshot; comparing them across runs would gate
+        // pure noise.
+        assert_eq!(classify("metrics.histograms[0].exemplar_ns"), Direction::Info);
+        assert_eq!(classify("metrics.histograms[0].exemplar_trace_id"), Direction::Info);
     }
 
     #[test]

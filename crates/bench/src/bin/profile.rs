@@ -177,7 +177,11 @@ fn run() {
 
     let wall_ns = train_wall.as_nanos() as u64;
     let mut table = Table::new(&["Op", "Kind", "Calls", "Total ms", "% wall", "Mean ns", "GFLOP/s"]);
-    for r in train_ops.iter().take(TOP_K) {
+    // The snapshot is (name, kind)-sorted for stable JSON diffs; the human
+    // table wants the expensive rows first.
+    let mut by_time: Vec<&OpRecord> = train_ops.iter().collect();
+    by_time.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then_with(|| a.name.cmp(&b.name)));
+    for r in by_time.iter().take(TOP_K) {
         table.row(&[
             r.name.clone(),
             r.kind.clone(),

@@ -104,6 +104,26 @@ struct StreamRow {
 }
 
 #[derive(serde::Serialize)]
+struct TraceRow {
+    /// Queries driven through the engine in each timed pass.
+    traced_queries: usize,
+    /// End-to-end batched queries/second with tracing disabled (the
+    /// default): the near-zero-cost baseline.
+    trace_off_qps: f64,
+    /// Same workload with the flight recorder in capture-all mode
+    /// (slow_threshold 0, sample_every 1) — the worst-case tracing cost;
+    /// production configs sample and pay less.
+    trace_on_qps: f64,
+    /// (off - on) / off, in percent. Gated LowerBetter by `bench_diff`.
+    overhead_pct: f64,
+    /// Mean spans per captured query trace — how much detail the overhead
+    /// above buys.
+    spans_per_query: f64,
+    /// Traces held by the flight recorder after the traced pass.
+    flight_captured: usize,
+}
+
+#[derive(serde::Serialize)]
 struct StoreRow {
     /// Trajectories in the on-disk corpus (10x the table-experiment corpus
     /// at every scale — the point of the data plane is headroom).
@@ -148,6 +168,7 @@ struct Report {
     infer: InferRow,
     serve: ServeRow,
     stream: StreamRow,
+    trace: TraceRow,
     store: StoreRow,
     /// Training-side metrics registry at end of run (`train_batch_ns`
     /// histogram, batch counter, wall/memory gauges) — the payload
@@ -341,6 +362,80 @@ fn bench_serve(ds: &Dataset, dim: usize) -> ServeRow {
         query_p50_ns,
         query_p99_ns,
         shard_imbalance,
+    }
+}
+
+/// Measure what request tracing costs on the serve path: the same
+/// admission-batched query workload as `bench_serve` phase 3, once with
+/// tracing disabled (the default) and once with the flight recorder in
+/// capture-all mode — the worst case, since every span is recorded and
+/// every trace retained. Production configs sample and pay less.
+fn bench_trace(ds: &Dataset, dim: usize) -> TraceRow {
+    use tmn_obs::{trace, TraceConfig};
+    use tmn_serve::{ServeConfig, ServeEngine, ShardSetConfig};
+
+    let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(2, 4);
+    let engine = ServeEngine::start(
+        ModelKind::TmnNm,
+        &ModelConfig { dim, seed: 42 },
+        ServeConfig {
+            shard: ShardSetConfig { shards, shortlist: 64, ..Default::default() },
+            max_batch: 16,
+            ..Default::default()
+        },
+    )
+    .expect("trace bench engine start");
+    let handle = engine.handle();
+    let n_corpus = ds.test.len().min(128);
+    for (i, t) in ds.test.iter().take(n_corpus).enumerate() {
+        handle.insert(i as u64, t.clone()).expect("trace bench insert");
+    }
+
+    let total_queries = 256usize;
+    let batch: Vec<_> = ds.test.iter().take(16).cloned().collect();
+    let run_pass = || {
+        let t0 = Instant::now();
+        for _ in 0..total_queries / batch.len() {
+            let res = handle.query_batch(batch.clone(), 10).expect("trace bench query");
+            std::hint::black_box(&res);
+        }
+        total_queries as f64 / t0.elapsed().as_secs_f64()
+    };
+
+    trace::set_enabled(false);
+    let _warmup = run_pass();
+    let trace_off_qps = run_pass();
+
+    trace::configure(TraceConfig {
+        span_ring: 8192,
+        flight: 64,
+        slow_threshold_ns: 0,
+        sample_every: 1,
+    });
+    trace::reset();
+    trace::set_enabled(true);
+    let trace_on_qps = run_pass();
+    let stats = trace::stats();
+    let query_traces: Vec<_> =
+        trace::recent().into_iter().filter(|t| t.name == "serve.query_batch").collect();
+    let spans_per_query = if query_traces.is_empty() {
+        0.0
+    } else {
+        query_traces.iter().map(|t| t.spans.len()).sum::<usize>() as f64
+            / query_traces.len() as f64
+    };
+    trace::set_enabled(false);
+    trace::configure(TraceConfig::default());
+    trace::reset();
+    engine.shutdown();
+
+    TraceRow {
+        traced_queries: total_queries,
+        trace_off_qps,
+        trace_on_qps,
+        overhead_pct: (trace_off_qps - trace_on_qps) / trace_off_qps * 100.0,
+        spans_per_query,
+        flight_captured: stats.flight_len,
     }
 }
 
@@ -648,6 +743,18 @@ fn main() {
         stream.reindex_ratio,
     );
 
+    let trace = bench_trace(&ds, dim);
+    eprintln!(
+        "  trace ({} queries): {:.0} q/s off vs {:.0} q/s capture-all ({:+.1}% overhead), \
+         {:.1} spans/query, {} traces in flight recorder",
+        trace.traced_queries,
+        trace.trace_off_qps,
+        trace.trace_on_qps,
+        trace.overhead_pct,
+        trace.spans_per_query,
+        trace.flight_captured,
+    );
+
     let mut table = Table::new(&["Threads", "Steps/s", "Pairs/s", "Speedup"]);
     for r in &training {
         table.row(&[
@@ -670,6 +777,7 @@ fn main() {
         infer,
         serve,
         stream,
+        trace,
         store,
         metrics: metrics::snapshot(),
         note: "Data-parallel workers run on scoped OS threads; on a single-core host the \

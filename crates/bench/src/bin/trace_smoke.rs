@@ -1,0 +1,178 @@
+//! CI smoke for request tracing: run queries and stream appends through a
+//! live serve engine with the flight recorder in capture-all mode, assert
+//! every request yields a complete, well-formed span tree (queue wait →
+//! shared embed → per-shard knn/rerank → merge), validate the Chrome
+//! trace-event export as JSON, and check exemplar linkage — each serving
+//! histogram names a trace the flight recorder actually holds.
+//!
+//! Runs in a couple of seconds; wired into `scripts/ci.sh` after
+//! `stream_smoke`.
+
+use tmn_core::{ModelConfig, ModelKind};
+use tmn_obs::{metrics, trace, TraceConfig};
+use tmn_serve::{ServeConfig, ServeEngine, ShardSetConfig};
+use tmn_traj::{Point, Trajectory};
+
+fn traj(seed: u64, len: usize) -> Trajectory {
+    let pts = (0..len)
+        .map(|i| {
+            let h = tmn_index::splitmix64(seed * 131 + i as u64);
+            Point::new((h % 1000) as f64 / 1000.0, ((h >> 10) % 1000) as f64 / 1000.0)
+        })
+        .collect();
+    Trajectory::new(pts)
+}
+
+fn main() {
+    metrics::set_enabled(true);
+    metrics::reset();
+    // Capture-all: no slow threshold, keep every request, flight ring big
+    // enough that nothing recorded below is evicted.
+    trace::configure(TraceConfig {
+        span_ring: 8192,
+        flight: 256,
+        slow_threshold_ns: 0,
+        sample_every: 1,
+    });
+    trace::reset();
+    trace::set_enabled(true);
+
+    let shards = 2usize;
+    let engine = ServeEngine::start(
+        ModelKind::TmnNm,
+        &ModelConfig { dim: 16, seed: 9 },
+        ServeConfig {
+            shard: ShardSetConfig { shards, shortlist: 48, ..Default::default() },
+            max_batch: 16,
+            ..Default::default()
+        },
+    )
+    .expect("start serve engine");
+    let h = engine.handle();
+
+    for id in 0..40u64 {
+        h.insert(id, traj(id, 8 + (id % 5) as usize)).expect("insert");
+    }
+    for q in 0..8u64 {
+        let top = h.query(traj(100 + q, 10), 5).expect("query");
+        assert_eq!(top.len(), 5, "query must return k results");
+    }
+    let full = traj(7, 12);
+    for p in full.points() {
+        h.append_point(500, *p).expect("append");
+    }
+
+    // Every request must have produced a captured trace.
+    let stats = trace::stats();
+    assert_eq!(stats.started, stats.finished, "no request may leak an unfinished trace");
+    assert_eq!(
+        stats.kept_slow + stats.kept_sampled,
+        stats.finished,
+        "capture-all config must keep every finished request"
+    );
+
+    // A query trace carries the full request lifecycle as one tree.
+    let traces = trace::recent();
+    let q = traces
+        .iter()
+        .rev()
+        .find(|t| t.name == "serve.query")
+        .expect("serve.query trace captured");
+    assert!(q.is_well_formed(), "query span tree must be well-formed: {q:?}");
+    let root = q.root();
+    let wait = q.span_named("serve.queue_wait").expect("queue-wait span");
+    assert_eq!(wait.parent, root.span, "queue wait hangs off the request root");
+    assert!(
+        wait.attrs.iter().any(|a| a.key == "batch_id")
+            && wait.attrs.iter().any(|a| a.key == "batch_size"),
+        "queue-wait span must carry batch id + size: {:?}",
+        wait.attrs
+    );
+    let embed = q.span_named("serve.embed").expect("embed span");
+    assert_eq!(embed.parent, root.span);
+    let search = q.span_named("serve.search").expect("search span");
+    assert_eq!(search.parent, root.span);
+    let knn = q.spans_named("shard.knn");
+    let rerank = q.spans_named("shard.rerank");
+    assert_eq!(knn.len(), shards, "one knn span per shard");
+    assert_eq!(rerank.len(), shards, "one rerank span per shard");
+    for s in knn.iter().chain(rerank.iter()) {
+        assert_eq!(s.parent, search.span, "shard spans nest under the scatter-gather span");
+    }
+    let merge = q.span_named("serve.merge").expect("merge span");
+    assert_eq!(merge.parent, search.span, "merge is grouped under the scatter-gather span");
+
+    // The streaming path records its own stages.
+    let appends: Vec<_> = traces.iter().filter(|t| t.name == "serve.append").collect();
+    assert_eq!(appends.len(), full.len(), "one trace per append");
+    for (i, a) in appends.iter().enumerate() {
+        assert!(a.is_well_formed(), "append trace {i} malformed");
+        assert!(a.span_named("stream.step").is_some(), "append {i} lacks stream.step");
+        if i > 0 {
+            assert!(a.span_named("stream.delta").is_some(), "append {i} lacks stream.delta");
+        }
+        assert!(a.span_named("stream.reindex").is_some(), "append {i} lacks stream.reindex");
+    }
+
+    // The text renderer shows the nesting; the JSONL dump round-trips.
+    let tree = trace::render_tree(q);
+    for needle in ["serve.query", "serve.queue_wait", "serve.embed", "shard.knn", "serve.merge"] {
+        assert!(tree.contains(needle), "tree lacks {needle}:\n{tree}");
+    }
+    let jsonl = trace::dump_jsonl();
+    assert_eq!(jsonl.lines().count(), traces.len(), "one JSONL line per trace");
+    for line in jsonl.lines() {
+        let _: tmn_obs::TraceSnapshot =
+            serde_json::from_str(line).expect("every JSONL line parses back");
+    }
+
+    // Chrome export: valid JSON with the documented event fields.
+    let chrome = trace::to_chrome_trace(&traces);
+    let doc: serde::Value = serde_json::from_str(&chrome).expect("chrome export is valid JSON");
+    let events = match doc.get_field("traceEvents") {
+        Some(serde::Value::Seq(e)) => e,
+        other => panic!("traceEvents array missing: {other:?}"),
+    };
+    let total_spans: usize = traces.iter().map(|t| t.spans.len()).sum();
+    assert_eq!(events.len(), total_spans, "one Chrome event per span");
+    for ev in events {
+        for field in ["name", "cat", "ph", "ts", "dur", "pid", "tid", "args"] {
+            assert!(ev.get_field(field).is_some(), "event lacks {field}: {ev:?}");
+        }
+        let args = ev.get_field("args").expect("args");
+        assert!(args.get_field("trace_id").is_some(), "args lack trace_id");
+    }
+
+    // Exemplar linkage: each serving histogram names a trace that the
+    // flight recorder (capture-all, nothing evicted) actually holds.
+    let snap = metrics::snapshot();
+    for name in ["query_embed_ns", "query_index_ns", "query_rank_ns", "append_ns"] {
+        let hist = snap.histogram(name).unwrap_or_else(|| panic!("{name} histogram missing"));
+        let id = hist
+            .exemplar_trace_id
+            .unwrap_or_else(|| panic!("{name} lacks an exemplar trace id"));
+        assert!(
+            trace::find(id).is_some(),
+            "{name} exemplar names trace {id}, which the flight recorder does not hold"
+        );
+        assert!(hist.exemplar_ns.unwrap_or(0) > 0, "{name} exemplar value must be observed");
+    }
+
+    // Queue accounting flows alongside the traces.
+    assert!(snap.gauge(tmn_serve::SERVE_QUEUE_DEPTH).is_some(), "queue depth gauge missing");
+    let wait_h = snap.histogram(tmn_serve::SERVE_QUEUE_WAIT_NS).expect("queue wait histogram");
+    assert!(wait_h.count >= stats.finished, "every request passes the admission queue");
+
+    engine.shutdown();
+    trace::set_enabled(false);
+    trace::configure(TraceConfig::default());
+
+    println!(
+        "trace smoke OK: {} traces captured ({} spans), query tree complete over {} shards, \
+         {} append traces, chrome export + exemplar linkage verified",
+        traces.len(),
+        total_spans,
+        shards,
+        appends.len(),
+    );
+}

@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 use tmn_core::PairModel;
-use tmn_obs::metrics;
+use tmn_obs::{metrics, trace};
 use tmn_traj::metrics::{Metric, MetricParams};
 use tmn_traj::Trajectory;
 
@@ -212,6 +212,12 @@ fn elapsed_ns(start: Instant) -> u64 {
 /// [`QUERY_EMBED_NS`] / [`QUERY_RANK_NS`] histograms and [`QUERIES_TOTAL`];
 /// for independent models the one-shot whole-batch embed/index spans go to
 /// [`QUERY_EMBED_NS`] / [`QUERY_INDEX_NS`] (one observation per call).
+///
+/// Tracing: when [`tmn_obs::trace`] is enabled, each call opens an
+/// `eval.search` request and records the same intervals as `eval.embed` /
+/// `eval.index` / `eval.rank` child spans, so offline evaluation runs land
+/// in the flight recorder exactly like live serve traffic. Histogram
+/// observations carry the trace id as an exemplar.
 pub fn time_search_phases(
     model: &dyn PairModel,
     trajs: &[Trajectory],
@@ -233,27 +239,34 @@ pub fn time_search_phases_detailed(
     batch_size: usize,
 ) -> (SearchPhases, Vec<Vec<(usize, f64)>>, QueryLatencies) {
     let _prof = tmn_obs::profiler::phase("eval.search");
+    let req = trace::request_begin("eval.search");
+    let _ambient = trace::attach(req.ctx());
+    let ctx = req.ctx();
     let mut lat = QueryLatencies::default();
     metrics::counter_add(QUERIES_TOTAL, queries.len() as u64);
     let (phases, results) = if model.is_pair_dependent() {
         let mut rows: Vec<Vec<f64>> = Vec::with_capacity(queries.len());
         for &q in queries {
+            let t0 = trace::now_ns();
             let start = Instant::now();
             let row = crate::search::pairwise_query_distances(model, &trajs[q], trajs, batch_size);
             let ns = elapsed_ns(start);
-            metrics::observe_ns(QUERY_EMBED_NS, ns);
+            trace::record_span(ctx, "eval.embed", t0, ns, &[("query", q as u64)]);
+            metrics::observe_ns_traced(QUERY_EMBED_NS, ns, ctx.trace_id());
             lat.embed_ns.push(ns);
             rows.push(row);
         }
         let mut results = Vec::with_capacity(rows.len());
         for row in &rows {
+            let t0 = trace::now_ns();
             let start = Instant::now();
             let mut idx: Vec<usize> = (0..row.len()).collect();
             idx.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap().then(a.cmp(&b)));
             idx.truncate(k);
             let ranked: Vec<(usize, f64)> = idx.into_iter().map(|i| (i, row[i])).collect();
             let ns = elapsed_ns(start);
-            metrics::observe_ns(QUERY_RANK_NS, ns);
+            trace::record_span(ctx, "eval.rank", t0, ns, &[("candidates", row.len() as u64)]);
+            metrics::observe_ns_traced(QUERY_RANK_NS, ns, ctx.trace_id());
             lat.rank_ns.push(ns);
             results.push(ranked);
         }
@@ -261,22 +274,28 @@ pub fn time_search_phases_detailed(
         let rank_s = lat.rank_ns.iter().sum::<u64>() as f64 / 1e9;
         (SearchPhases { embed_s, index_s: 0.0, rank_s, queries: queries.len() }, results)
     } else {
+        let t0 = trace::now_ns();
         let start = Instant::now();
         let emb = crate::search::encode_all(model, trajs, batch_size);
         let embed_ns = elapsed_ns(start);
-        metrics::observe_ns(QUERY_EMBED_NS, embed_ns);
+        trace::record_span(ctx, "eval.embed", t0, embed_ns, &[("trajs", trajs.len() as u64)]);
+        metrics::observe_ns_traced(QUERY_EMBED_NS, embed_ns, ctx.trace_id());
         lat.embed_ns.push(embed_ns);
+        let t0 = trace::now_ns();
         let start = Instant::now();
         let store = crate::EmbeddingStore::from_vectors(&emb);
         let index_ns = elapsed_ns(start);
-        metrics::observe_ns(QUERY_INDEX_NS, index_ns);
+        trace::record_span(ctx, "eval.index", t0, index_ns, &[("vectors", emb.len() as u64)]);
+        metrics::observe_ns_traced(QUERY_INDEX_NS, index_ns, ctx.trace_id());
         lat.index_ns.push(index_ns);
         let mut results = Vec::with_capacity(queries.len());
         for &q in queries {
+            let t0 = trace::now_ns();
             let start = Instant::now();
             let ranked = store.knn_exact(&emb[q], k);
             let ns = elapsed_ns(start);
-            metrics::observe_ns(QUERY_RANK_NS, ns);
+            trace::record_span(ctx, "eval.rank", t0, ns, &[("query", q as u64)]);
+            metrics::observe_ns_traced(QUERY_RANK_NS, ns, ctx.trace_id());
             lat.rank_ns.push(ns);
             results.push(ranked);
         }
@@ -349,6 +368,28 @@ mod tests {
         assert!(phases.embed_s > 0.0);
         assert_eq!(results[0].len(), 3);
         assert_eq!(results[0][0].0, 1, "self match must rank first");
+    }
+
+    #[test]
+    fn search_records_trace_with_phase_spans() {
+        let model = ModelKind::Srn.build(&ModelConfig { dim: 8, seed: 1 });
+        let ts = trajs(8, 10);
+        trace::configure(tmn_obs::TraceConfig {
+            slow_threshold_ns: 0, // keep every request
+            ..Default::default()
+        });
+        trace::set_enabled(true);
+        let _ = time_search_phases(model.as_ref(), &ts, &[0, 3], 4, 4);
+        trace::set_enabled(false);
+        let snap = trace::recent()
+            .into_iter()
+            .find(|t| t.name == "eval.search")
+            .expect("eval.search trace must be captured");
+        assert!(snap.is_well_formed(), "span tree must reassemble");
+        assert_eq!(snap.spans_named("eval.embed").len(), 1, "one whole-batch embed span");
+        assert_eq!(snap.spans_named("eval.index").len(), 1);
+        assert_eq!(snap.spans_named("eval.rank").len(), 2, "one rank span per query");
+        trace::configure(tmn_obs::TraceConfig::default());
     }
 
     #[test]

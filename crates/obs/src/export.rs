@@ -6,6 +6,10 @@
 //!
 //! - Every metric is prefixed `tmn_`; characters outside `[a-zA-Z0-9_:]`
 //!   are replaced with `_`.
+//! - Every series is preceded by `# HELP` and `# TYPE` comment lines, so
+//!   the output lints cleanly under `promtool check metrics`. HELP text is
+//!   generic ("<kind> exported by tmn-obs") — the registry keys metrics by
+//!   bare name, and per-metric prose lives in rustdoc, not the registry.
 //! - Counters get a `_total` suffix (appended if the registry name lacks
 //!   one), per Prometheus convention.
 //! - Histograms keep their unit suffix in the base name (`..._ns`) and
@@ -45,6 +49,7 @@ fn counter_name(name: &str) -> String {
 
 fn write_histogram(out: &mut String, h: &HistogramSnapshot) {
     let base = prometheus_name(&h.name);
+    let _ = writeln!(out, "# HELP {base} latency histogram exported by tmn-obs");
     let _ = writeln!(out, "# TYPE {base} histogram");
     let mut cum = 0u64;
     for b in &h.buckets {
@@ -65,11 +70,13 @@ pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for c in &snap.counters {
         let name = counter_name(&c.name);
+        let _ = writeln!(out, "# HELP {name} counter exported by tmn-obs");
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {}", c.value);
     }
     for g in &snap.gauges {
         let name = prometheus_name(&g.name);
+        let _ = writeln!(out, "# HELP {name} gauge exported by tmn-obs");
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name} {}", g.value);
     }
@@ -141,6 +148,20 @@ mod tests {
         }
         assert!(bucket_lines >= 4, "expected several finite buckets plus +Inf");
         assert_eq!(last, 6, "+Inf bucket must equal total count");
+    }
+
+    #[test]
+    fn every_series_has_help_and_type_lines() {
+        let text = to_prometheus(&sample_snapshot());
+        for name in ["tmn_queries_total", "tmn_train_batch_wall_ms", "tmn_query_rank_ns"] {
+            assert!(text.contains(&format!("# HELP {name} ")), "HELP missing for {name}:\n{text}");
+            assert!(text.contains(&format!("# TYPE {name} ")), "TYPE missing for {name}:\n{text}");
+            // promtool requires HELP/TYPE to precede the samples.
+            let help_at = text.find(&format!("# HELP {name} ")).unwrap();
+            let type_at = text.find(&format!("# TYPE {name} ")).unwrap();
+            let sample_at = text.find(&format!("\n{name}")).unwrap();
+            assert!(help_at < type_at && type_at < sample_at, "ordering wrong for {name}");
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! reports through this one, so it depends only on the vendored `serde` /
 //! `serde_json` stubs.
 //!
-//! Four subsystems:
+//! Five subsystems:
 //!
 //! - [`profiler`] — a process-global, thread-safe registry of timed scopes.
 //!   `tmn-autograd` records every forward and backward op (wall time, call
@@ -24,6 +24,12 @@
 //! - [`memory`] — opt-in (`alloc-count` feature) counting global allocator:
 //!   live/peak bytes and allocation counts, surfaced as gauges and used by
 //!   allocation-regression tests.
+//! - [`trace`] — request-scoped span tracing plus a flight recorder:
+//!   per-request span trees (queue wait, embed, per-shard knn, rerank,
+//!   merge...), tail-based slow-query capture, Chrome trace-event / text
+//!   tree / JSONL exporters, and trace-id exemplars on the latency
+//!   histograms. Disabled by default, same one-atomic-load off path as the
+//!   profiler.
 //!
 //! ## Example
 //!
@@ -48,7 +54,9 @@ pub mod memory;
 pub mod metrics;
 pub mod profiler;
 pub mod telemetry;
+pub mod trace;
 
 pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot};
 pub use profiler::{OpRecord, ScopeKind};
+pub use trace::{SpanSnapshot, TraceConfig, TraceCtx, TraceSnapshot, TraceStats};
 pub use telemetry::{BatchTelemetry, EpochTelemetry, EventTelemetry, TelemetrySink};

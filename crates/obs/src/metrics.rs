@@ -92,6 +92,21 @@ pub fn bucket_bounds(idx: usize) -> (u64, u64) {
     }
 }
 
+/// A trace-id exemplar: the most recent observation that landed in the
+/// histogram's highest-so-far bucket, with the id of the trace that made it
+/// (see [`crate::trace`]). This is what links "p99 regressed" to a concrete
+/// recorded request: the exported snapshot of a latency histogram names a
+/// trace the flight recorder can look up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// Trace id recorded next to the observation (never 0).
+    pub trace_id: u64,
+    /// The observed value itself, nanoseconds.
+    pub value_ns: u64,
+    /// Bucket index of `value_ns` — the "height" the exemplar holds.
+    pub bucket: usize,
+}
+
 /// A log-linear latency histogram (standalone; the global registry stores
 /// one per name, but workers may also keep private ones and [`merge`] them).
 ///
@@ -103,6 +118,7 @@ pub struct Histogram {
     sum: u64,
     min: u64,
     max: u64,
+    exemplar: Option<Exemplar>,
 }
 
 impl Default for Histogram {
@@ -113,21 +129,55 @@ impl Default for Histogram {
 
 impl Histogram {
     pub fn new() -> Histogram {
-        Histogram { buckets: vec![0; NUM_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+        Histogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            exemplar: None,
+        }
     }
 
     /// Record one value (nanoseconds).
     pub fn observe(&mut self, v: u64) {
-        self.buckets[bucket_index(v)] += 1;
+        self.observe_traced(v, 0);
+    }
+
+    /// Record one value and, when `trace_id` is non-zero, offer it as the
+    /// histogram's exemplar. The exemplar keeps the **most recent
+    /// observation at the highest bucket seen so far**: a traced value whose
+    /// bucket ties or beats the current exemplar's replaces it, so after a
+    /// latency spike the exemplar names a trace from the top of the
+    /// distribution, and repeated spikes keep it fresh.
+    pub fn observe_traced(&mut self, v: u64, trace_id: u64) {
+        let bucket = bucket_index(v);
+        self.buckets[bucket] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        if trace_id != 0 {
+            let replace = match self.exemplar {
+                None => true,
+                Some(e) => bucket >= e.bucket,
+            };
+            if replace {
+                self.exemplar = Some(Exemplar { trace_id, value_ns: v, bucket });
+            }
+        }
+    }
+
+    /// The current exemplar, if any traced observation has been recorded.
+    pub fn exemplar(&self) -> Option<Exemplar> {
+        self.exemplar
     }
 
     /// Exact merge: bucket-wise integer addition, so the result is identical
     /// no matter how observations were partitioned across threads or in
-    /// which order partial histograms are merged.
+    /// which order partial histograms are merged. Exemplars are combined by
+    /// max of `(bucket, value_ns, trace_id)` — a commutative rule, so merge
+    /// order cannot change the surviving exemplar either.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
@@ -136,6 +186,13 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        self.exemplar = match (self.exemplar, other.exemplar) {
+            (Some(a), Some(b)) => {
+                let key = |e: Exemplar| (e.bucket, e.value_ns, e.trace_id);
+                Some(if key(b) > key(a) { b } else { a })
+            }
+            (a, b) => a.or(b),
+        };
     }
 
     pub fn count(&self) -> u64 {
@@ -263,10 +320,19 @@ pub fn gauge_set(name: &'static str, value: f64) {
 
 /// Record one latency observation (nanoseconds) into a named histogram.
 pub fn observe_ns(name: &'static str, ns: u64) {
+    observe_ns_traced(name, ns, 0);
+}
+
+/// Record one latency observation carrying the trace id of the request that
+/// produced it (0 = untraced; see [`Histogram::observe_traced`] for the
+/// exemplar-retention rule). The serving path passes
+/// [`crate::trace::current_trace`] here so exported histograms point p99
+/// hunters at a concrete flight-recorded trace.
+pub fn observe_ns_traced(name: &'static str, ns: u64, trace_id: u64) {
     if !is_enabled() {
         return;
     }
-    lock().histograms.entry(name).or_default().observe(ns);
+    lock().histograms.entry(name).or_default().observe_traced(ns, trace_id);
 }
 
 /// Record a [`std::time::Duration`] into a named histogram.
@@ -320,6 +386,11 @@ pub struct HistogramSnapshot {
     pub p90_ns: u64,
     pub p95_ns: u64,
     pub p99_ns: u64,
+    /// Trace id of the exemplar observation (see [`Exemplar`]); `None` when
+    /// nothing traced has been recorded.
+    pub exemplar_trace_id: Option<u64>,
+    /// The exemplar's observed value, nanoseconds.
+    pub exemplar_ns: Option<u64>,
     /// Sparse: only non-empty buckets, in ascending value order.
     pub buckets: Vec<BucketSnapshot>,
 }
@@ -337,6 +408,8 @@ impl HistogramSnapshot {
             p90_ns: h.quantile(0.90),
             p95_ns: h.quantile(0.95),
             p99_ns: h.quantile(0.99),
+            exemplar_trace_id: h.exemplar().map(|e| e.trace_id),
+            exemplar_ns: h.exemplar().map(|e| e.value_ns),
             buckets: h
                 .nonzero_buckets()
                 .into_iter()
@@ -553,11 +626,64 @@ mod tests {
     }
 
     #[test]
+    fn exemplar_keeps_most_recent_highest_bucket() {
+        let mut h = Histogram::new();
+        h.observe(5_000); // untraced: no exemplar
+        assert_eq!(h.exemplar(), None);
+        h.observe_traced(1_000, 7);
+        assert_eq!(h.exemplar().unwrap().trace_id, 7);
+        h.observe_traced(900_000, 8); // higher bucket wins
+        assert_eq!(h.exemplar().unwrap(), Exemplar {
+            trace_id: 8,
+            value_ns: 900_000,
+            bucket: bucket_index(900_000)
+        });
+        h.observe_traced(2_000, 9); // lower bucket: exemplar unchanged
+        assert_eq!(h.exemplar().unwrap().trace_id, 8);
+        h.observe_traced(900_001, 10); // same bucket, more recent: replaced
+        assert_eq!(h.exemplar().unwrap().trace_id, 10);
+        assert_eq!(h.count(), 5, "exemplar bookkeeping must not alter counts");
+    }
+
+    #[test]
+    fn exemplar_merge_is_order_independent() {
+        let mut a = Histogram::new();
+        a.observe_traced(50_000, 3);
+        let mut b = Histogram::new();
+        b.observe_traced(800_000, 4);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.exemplar(), ba.exemplar());
+        assert_eq!(ab.exemplar().unwrap().trace_id, 4, "higher bucket survives the merge");
+        let mut with_empty = a.clone();
+        with_empty.merge(&Histogram::new());
+        assert_eq!(with_empty.exemplar().unwrap().trace_id, 3);
+    }
+
+    #[test]
+    fn traced_observation_surfaces_in_snapshot() {
+        let _l = test_lock();
+        set_enabled(true);
+        reset();
+        observe_ns("test.exemplar_hist", 10);
+        observe_ns_traced("test.exemplar_hist", 123_456, 42);
+        let snap = snapshot();
+        reset();
+        let h = snap.histogram("test.exemplar_hist").unwrap();
+        assert_eq!(h.exemplar_trace_id, Some(42));
+        assert_eq!(h.exemplar_ns, Some(123_456));
+        assert_eq!(h.count, 2);
+    }
+
+    #[test]
     fn snapshot_roundtrips_through_json() {
         let mut h = Histogram::new();
         for v in [5u64, 500, 50_000, OVERFLOW_THRESHOLD_NS + 7] {
             h.observe(v);
         }
+        h.observe_traced(40_000, 11); // exemplar fields must round-trip too
         let snap = MetricsSnapshot {
             counters: vec![CounterSnapshot { name: "c".into(), value: u64::MAX }],
             gauges: vec![GaugeSnapshot { name: "g".into(), value: -1.25 }],

@@ -161,7 +161,12 @@ impl OpRecord {
     }
 }
 
-/// Copy of the registry, sorted by total time (descending).
+/// Copy of the registry, sorted by `(name, kind)`. The ordering is a
+/// function of *which* scopes ran, never of how long they took, so two runs
+/// of the same workload produce identically ordered `PROFILE_ops.json`
+/// files and `bench_diff` sees real deltas instead of row shuffles.
+/// Consumers that want a "top by time" view (the `profile` bin's table)
+/// re-sort their copy.
 pub fn snapshot() -> Vec<OpRecord> {
     let reg = registry_lock();
     let mut rows: Vec<OpRecord> = reg
@@ -170,7 +175,7 @@ pub fn snapshot() -> Vec<OpRecord> {
             OpRecord::new(name.to_string(), kind.as_str().to_string(), *stat)
         })
         .collect();
-    rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then_with(|| a.name.cmp(&b.name)));
+    rows.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.kind.cmp(&b.kind)));
     rows
 }
 
@@ -224,17 +229,46 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_sorted_by_total_time() {
+    fn snapshot_order_is_deterministic_name_then_kind() {
         let _l = test_lock();
         reset();
-        record("test.slow", ScopeKind::Phase, 5_000, 0);
-        record("test.fast", ScopeKind::Phase, 10, 0);
+        // Timings deliberately anti-correlated with name order: determinism
+        // means the sort must ignore them.
+        record("test.b_op", ScopeKind::Phase, 5_000, 0);
+        record("test.a_op", ScopeKind::Phase, 10, 0);
+        record("test.a_op", ScopeKind::Forward, 9_999, 0);
+        record("test.a_op", ScopeKind::Backward, 1, 0);
         let snap = snapshot();
-        let slow = snap.iter().position(|r| r.name == "test.slow").unwrap();
-        let fast = snap.iter().position(|r| r.name == "test.fast").unwrap();
-        assert!(slow < fast, "snapshot not sorted by total_ns desc");
-        assert_eq!(total_ns(), 5_010);
+        let keys: Vec<(&str, &str)> =
+            snap.iter().map(|r| (r.name.as_str(), r.kind.as_str())).collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("test.a_op", "backward"),
+                ("test.a_op", "forward"),
+                ("test.a_op", "phase"),
+                ("test.b_op", "phase"),
+            ],
+            "snapshot must sort by (name, kind), independent of timings"
+        );
+        assert_eq!(total_ns(), 15_010);
         reset();
+    }
+
+    #[test]
+    fn snapshot_order_survives_timing_perturbation() {
+        // Regression: same scopes, different timings => identical row order.
+        let _l = test_lock();
+        reset();
+        record("test.x", ScopeKind::Forward, 1, 0);
+        record("test.y", ScopeKind::Forward, 1_000_000, 0);
+        let order1: Vec<String> = snapshot().iter().map(|r| r.name.clone()).collect();
+        reset();
+        record("test.x", ScopeKind::Forward, 1_000_000, 0);
+        record("test.y", ScopeKind::Forward, 1, 0);
+        let order2: Vec<String> = snapshot().iter().map(|r| r.name.clone()).collect();
+        reset();
+        assert_eq!(order1, order2, "row order must not depend on timings");
     }
 
     #[test]

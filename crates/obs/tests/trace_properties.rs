@@ -1,0 +1,226 @@
+//! Property tests for the trace ring buffer and flight recorder
+//! (`tmn_obs::trace`): bounded memory at any insert count, drop-oldest
+//! ordering, cross-thread span reassembly into one well-formed tree, and
+//! tail-based slow-query capture that never misses a request above the
+//! threshold.
+//!
+//! The recorder is process-global, so every test body runs under one shared
+//! lock and restores the default config + disabled flag before returning.
+
+use proptest::prelude::*;
+use std::sync::Mutex;
+use tmn_obs::trace;
+use tmn_obs::TraceConfig;
+
+/// Tests share the process-global recorder; serialize and clean up.
+fn with_recorder<R>(cfg: TraceConfig, body: impl FnOnce() -> R) -> R {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    trace::configure(cfg);
+    trace::reset();
+    trace::set_enabled(true);
+    let out = body();
+    trace::set_enabled(false);
+    trace::configure(TraceConfig::default());
+    trace::reset();
+    out
+}
+
+/// Begin a request whose completion is driven manually with a synthetic
+/// total, so properties control "how slow" each request was.
+fn synthetic_request(name: &'static str, total_ns: u64) -> u64 {
+    let req = trace::request_begin(name);
+    let ctx = req.ctx();
+    let id = req.trace_id();
+    std::mem::forget(req); // suppress the natural timing-based finish
+    trace::complete_request(ctx, name, 0, total_ns);
+    id
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The span ring never holds more than its capacity, no matter how many
+    /// spans are recorded, and accounts for every drop.
+    #[test]
+    fn span_ring_memory_is_bounded_at_any_insert_count(
+        cap in 1usize..32,
+        inserts in 0usize..200,
+    ) {
+        let (pending, dropped) = with_recorder(
+            TraceConfig { span_ring: cap, flight: 4, slow_threshold_ns: 0, sample_every: 1 },
+            || {
+                let req = trace::request_begin("prop.bounded");
+                let ctx = req.ctx();
+                std::mem::forget(req);
+                for i in 0..inserts {
+                    trace::record_span(ctx, "prop.span", i as u64, 1, &[]);
+                }
+                let st = trace::stats();
+                (st.pending_spans, st.spans_dropped)
+            },
+        );
+        prop_assert!(pending <= cap, "ring held {pending} spans, capacity {cap}");
+        prop_assert_eq!(pending, inserts.min(cap));
+        prop_assert_eq!(dropped, inserts.saturating_sub(cap) as u64);
+    }
+
+    /// Overflow evicts the oldest spans: a finished trace holds exactly the
+    /// newest `cap` spans, still in recording order.
+    #[test]
+    fn span_ring_drop_oldest_keeps_newest_in_order(
+        cap in 1usize..24,
+        inserts in 1usize..120,
+    ) {
+        let snap = with_recorder(
+            TraceConfig { span_ring: cap, flight: 4, slow_threshold_ns: 0, sample_every: 1 },
+            || {
+                let req = trace::request_begin("prop.oldest");
+                let ctx = req.ctx();
+                // start_ns encodes insertion order.
+                for i in 0..inserts {
+                    trace::record_span(ctx, "prop.span", i as u64, 1, &[]);
+                }
+                req.finish();
+                trace::latest().expect("slow_threshold 0 keeps every trace")
+            },
+        );
+        let starts: Vec<u64> =
+            snap.spans.iter().filter(|s| s.parent != 0).map(|s| s.start_ns).collect();
+        let expect: Vec<u64> =
+            (inserts.saturating_sub(cap)..inserts).map(|i| i as u64).collect();
+        prop_assert_eq!(starts, expect, "survivors must be the newest spans, oldest first");
+    }
+
+    /// Spans recorded by several worker threads under one request context
+    /// reassemble into a single well-formed tree: one root, every parent
+    /// present, nested spans parented inside their thread's outer span.
+    #[test]
+    fn cross_thread_spans_reassemble_into_one_tree(
+        threads in 1usize..5,
+        spans_per_thread in 1usize..5,
+    ) {
+        let snap = with_recorder(
+            TraceConfig { span_ring: 256, flight: 4, slow_threshold_ns: 0, sample_every: 1 },
+            || {
+                let req = trace::request_begin("prop.fanout");
+                let ctx = req.ctx();
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        s.spawn(move || {
+                            let _a = trace::attach(ctx);
+                            for _ in 0..spans_per_thread {
+                                let outer = trace::span("prop.outer").attr("worker", t as u64);
+                                let _inner = trace::span("prop.inner");
+                                drop(_inner);
+                                drop(outer);
+                            }
+                        });
+                    }
+                }); // scope joins every worker before the request finishes
+                req.finish();
+                trace::latest().expect("slow_threshold 0 keeps every trace")
+            },
+        );
+        prop_assert!(snap.is_well_formed(), "tree must reassemble: {:?}", snap);
+        let outers = snap.spans_named("prop.outer");
+        let inners = snap.spans_named("prop.inner");
+        prop_assert_eq!(outers.len(), threads * spans_per_thread);
+        prop_assert_eq!(inners.len(), threads * spans_per_thread);
+        let root = snap.root().span;
+        for o in &outers {
+            prop_assert_eq!(o.parent, root, "outer spans hang off the root");
+        }
+        for i in &inners {
+            prop_assert!(
+                outers.iter().any(|o| o.span == i.parent),
+                "inner span {} must nest under some outer span", i.span
+            );
+        }
+    }
+
+    /// Tail-based capture: every request at or above the threshold lands in
+    /// the flight recorder (the ring is sized to hold them all here), and
+    /// with sampling off nothing below the threshold sneaks in.
+    #[test]
+    fn slow_capture_never_misses_above_threshold(
+        totals in prop::collection::vec(0u64..5_000, 1..40),
+        threshold in 1u64..5_000,
+    ) {
+        let cfg = TraceConfig {
+            span_ring: 64,
+            flight: 64, // >= number of requests: drop-oldest cannot evict
+            slow_threshold_ns: threshold,
+            sample_every: 0,
+        };
+        let (stats, membership) = with_recorder(cfg, || {
+            let ids: Vec<u64> =
+                totals.iter().map(|&t| synthetic_request("prop.slow", t)).collect();
+            let membership: Vec<bool> = ids.iter().map(|&id| trace::find(id).is_some()).collect();
+            (trace::stats(), membership)
+        });
+        let slow = totals.iter().filter(|&&t| t >= threshold).count() as u64;
+        prop_assert_eq!(stats.kept_slow, slow);
+        prop_assert_eq!(stats.kept_sampled, 0);
+        for (&total, &captured) in totals.iter().zip(&membership) {
+            prop_assert_eq!(
+                captured,
+                total >= threshold,
+                "request with total {} vs threshold {}: captured={}",
+                total, threshold, captured
+            );
+        }
+    }
+
+    /// Count-sampling below the threshold keeps exactly every Nth request.
+    #[test]
+    fn count_sampling_keeps_every_nth_fast_request(
+        n in 1usize..60,
+        every in 1u64..9,
+    ) {
+        let stats = with_recorder(
+            TraceConfig {
+                span_ring: 64,
+                flight: 64,
+                slow_threshold_ns: u64::MAX,
+                sample_every: every,
+            },
+            || {
+                for _ in 0..n {
+                    synthetic_request("prop.fast", 1);
+                }
+                trace::stats()
+            },
+        );
+        prop_assert_eq!(stats.kept_slow, 0);
+        prop_assert_eq!(stats.kept_sampled, n as u64 / every);
+    }
+}
+
+/// Per-id membership check for the slow capture (plain test: needs to read
+/// the flight recorder before the property harness tears it down).
+#[test]
+fn slow_capture_membership_is_exact() {
+    let totals: Vec<u64> = vec![10, 5_000, 999, 1_000, 0, 123_456, 1_001];
+    let threshold = 1_000u64;
+    let cfg = TraceConfig {
+        span_ring: 64,
+        flight: 64,
+        slow_threshold_ns: threshold,
+        sample_every: 0,
+    };
+    with_recorder(cfg, || {
+        let ids: Vec<u64> =
+            totals.iter().map(|&t| synthetic_request("exact.slow", t)).collect();
+        for (&id, &total) in ids.iter().zip(&totals) {
+            let captured = trace::find(id);
+            if total >= threshold {
+                let snap = captured.unwrap_or_else(|| panic!("slow request {id} missing"));
+                assert!(snap.slow, "capture must be flagged slow");
+                assert_eq!(snap.total_ns, total);
+            } else {
+                assert!(captured.is_none(), "fast request {id} must not be captured");
+            }
+        }
+    });
+}

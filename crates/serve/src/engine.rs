@@ -17,7 +17,8 @@
 use crate::shard::{ShardSet, ShardSetConfig, ShardSetStatus};
 use crate::{
     ServeError, APPEND_NS, SERVE_BATCH_SIZE, SERVE_CACHE_CORRUPT_TOTAL, SERVE_CACHE_HITS_TOTAL,
-    SERVE_QUERIES_TOTAL, STREAM_APPENDS_TOTAL, STREAM_REINDEX_TOTAL,
+    SERVE_QUERIES_TOTAL, SERVE_QUEUE_DEPTH, SERVE_QUEUE_WAIT_NS, STREAM_APPENDS_TOTAL,
+    STREAM_REINDEX_TOTAL,
 };
 use serde::Serialize;
 use std::collections::HashMap;
@@ -29,6 +30,7 @@ use tmn_core::{ModelConfig, ModelKind, PairModel};
 use tmn_eval::{encode_all, EmbeddingStore};
 use tmn_store::CorpusFile;
 use tmn_obs::metrics;
+use tmn_obs::trace::{self, TraceCtx};
 use tmn_traj::{Point, Trajectory};
 
 /// Request-plane configuration.
@@ -66,6 +68,16 @@ enum Req {
     Status { reply: Reply<EngineStatus> },
     CorruptCache { id: u64, reply: Reply<bool> },
     Shutdown,
+}
+
+/// What actually crosses the admission queue: the request plus its trace
+/// context and enqueue timestamp. The context is plain `Copy` data, so a
+/// caller's trace survives the hop onto the engine thread; the timestamp
+/// feeds the queue-wait histogram and span at drain time.
+struct Envelope {
+    ctx: TraceCtx,
+    enq_ns: u64,
+    req: Req,
 }
 
 /// What one [`ServeHandle::append_point`] did.
@@ -139,32 +151,41 @@ impl EngineStatus {
 /// engine replies; any number of threads may hold handles.
 #[derive(Clone)]
 pub struct ServeHandle {
-    tx: mpsc::Sender<Req>,
+    tx: mpsc::Sender<Envelope>,
     shards: Arc<ShardSet>,
 }
 
 impl ServeHandle {
-    fn call<T>(&self, make: impl FnOnce(Reply<T>) -> Req) -> Result<T, ServeError> {
+    /// Single choke point for every request: begins the request trace
+    /// (inert when tracing is off), stamps the enqueue time, blocks for the
+    /// reply, then finishes the trace — by which point every span the
+    /// engine thread recorded for it is already in the global ring, so the
+    /// flight recorder assembles a complete tree.
+    fn call<T>(&self, name: &'static str, make: impl FnOnce(Reply<T>) -> Req) -> Result<T, ServeError> {
+        let req_span = trace::request_begin(name);
         let (tx, rx) = mpsc::channel();
-        self.tx.send(make(tx)).map_err(|_| ServeError::EngineDown)?;
-        rx.recv().map_err(|_| ServeError::EngineDown)?
+        let env = Envelope { ctx: req_span.ctx(), enq_ns: trace::now_ns(), req: make(tx) };
+        self.tx.send(env).map_err(|_| ServeError::EngineDown)?;
+        let res = rx.recv().map_err(|_| ServeError::EngineDown)?;
+        req_span.finish();
+        res
     }
 
     /// Insert (or re-insert) trajectory `id`. A re-insert replaces the
     /// stored embedding and invalidates the cached one.
     pub fn insert(&self, id: u64, traj: Trajectory) -> Result<(), ServeError> {
-        self.call(|reply| Req::Insert { id, traj, reply })
+        self.call("serve.insert", |reply| Req::Insert { id, traj, reply })
     }
 
     /// Delete trajectory `id`; `Ok(false)` when it was not live.
     pub fn delete(&self, id: u64) -> Result<bool, ServeError> {
-        self.call(|reply| Req::Delete { id, reply })
+        self.call("serve.delete", |reply| Req::Delete { id, reply })
     }
 
     /// Top-`k` most similar corpus trajectories to an ad-hoc query
     /// trajectory, as `(id, embedding distance)` ascending.
     pub fn query(&self, traj: Trajectory, k: usize) -> Result<Vec<(u64, f64)>, ServeError> {
-        self.call(|reply| Req::Query { traj, k, reply })
+        self.call("serve.query", |reply| Req::Query { traj, k, reply })
     }
 
     /// Batched [`query`](ServeHandle::query): all embeddings computed in
@@ -174,14 +195,14 @@ impl ServeHandle {
         trajs: Vec<Trajectory>,
         k: usize,
     ) -> Result<Vec<Vec<(u64, f64)>>, ServeError> {
-        self.call(|reply| Req::QueryBatch { trajs, k, reply })
+        self.call("serve.query_batch", |reply| Req::QueryBatch { trajs, k, reply })
     }
 
     /// Top-`k` for a trajectory already in the corpus, served from the warm
     /// embedding cache when its checksum verifies (recomputed via
     /// `embed_nograd` when it does not).
     pub fn query_id(&self, id: u64, k: usize) -> Result<Vec<(u64, f64)>, ServeError> {
-        self.call(|reply| Req::QueryId { id, k, reply })
+        self.call("serve.query_id", |reply| Req::QueryId { id, k, reply })
     }
 
     /// Append one GPS point to trajectory `id`'s live stream. The embedding
@@ -195,7 +216,7 @@ impl ServeHandle {
     /// Fails with [`ServeError::DegradedShard`] — before any model work —
     /// when the id's shard is fenced off.
     pub fn append_point(&self, id: u64, point: Point) -> Result<AppendOutcome, ServeError> {
-        self.call(|reply| Req::AppendPoint { id, point, reply })
+        self.call("serve.append", |reply| Req::AppendPoint { id, point, reply })
     }
 
     /// Top-`k` neighbours of the sliding window holding the last `last_k`
@@ -207,17 +228,17 @@ impl ServeHandle {
         last_k: usize,
         k: usize,
     ) -> Result<Vec<(u64, f64)>, ServeError> {
-        self.call(|reply| Req::QueryWindow { id, last_k, k, reply })
+        self.call("serve.query_window", |reply| Req::QueryWindow { id, last_k, k, reply })
     }
 
     pub fn status(&self) -> Result<EngineStatus, ServeError> {
-        self.call(|reply| Req::Status { reply })
+        self.call("serve.status", |reply| Req::Status { reply })
     }
 
     /// Fault-injection hook: flip one bit of `id`'s cached embedding
     /// without touching its checksum. `Ok(false)` when nothing was cached.
     pub fn corrupt_cache(&self, id: u64) -> Result<bool, ServeError> {
-        self.call(|reply| Req::CorruptCache { id, reply })
+        self.call("serve.corrupt_cache", |reply| Req::CorruptCache { id, reply })
     }
 
     /// Direct access to the vector-level data plane (bypasses the model;
@@ -392,7 +413,11 @@ impl ServeEngine {
 
     fn stop(&mut self) {
         if let Some(join) = self.join.take() {
-            let _ = self.handle.tx.send(Req::Shutdown);
+            let _ = self.handle.tx.send(Envelope {
+                ctx: TraceCtx::disabled(),
+                enq_ns: trace::now_ns(),
+                req: Req::Shutdown,
+            });
             let _ = join.join();
         }
     }
@@ -411,7 +436,7 @@ impl Drop for ServeEngine {
 fn run(
     model: Box<dyn PairModel>,
     shards: Arc<ShardSet>,
-    rx: mpsc::Receiver<Req>,
+    rx: mpsc::Receiver<Envelope>,
     max_batch: usize,
     reembed_min_delta: f64,
     mut corpus: HashMap<u64, Trajectory>,
@@ -420,15 +445,35 @@ fn run(
     // Live per-id stream states — the resumable model side of the warm
     // cache (which holds the *indexed* embedding for the same id).
     let mut streams: HashMap<u64, tmn_core::models::ModelStream> = HashMap::new();
+    let mut batch_id: u64 = 0;
     loop {
         // Block for one request, then drain the admission window.
         let Ok(first) = rx.recv() else { return };
         let mut batch = vec![first];
         while batch.len() < max_batch {
             match rx.try_recv() {
-                Ok(req) => batch.push(req),
+                Ok(env) => batch.push(env),
                 Err(_) => break,
             }
+        }
+
+        // Queue accounting at the drain boundary: depth is how many
+        // requests this admission window swallowed, wait is per-request
+        // enqueue→drain time. Each traced request gets a queue-wait span
+        // whose interval was measured here (start = its enqueue stamp).
+        batch_id = batch_id.wrapping_add(1);
+        let drained_ns = trace::now_ns();
+        metrics::gauge_set(SERVE_QUEUE_DEPTH, batch.len() as f64);
+        for env in &batch {
+            let wait = drained_ns.saturating_sub(env.enq_ns);
+            metrics::observe_ns_traced(SERVE_QUEUE_WAIT_NS, wait, env.ctx.trace_id());
+            trace::record_span(
+                env.ctx,
+                "serve.queue_wait",
+                env.enq_ns,
+                wait,
+                &[("batch_id", batch_id), ("batch_size", batch.len() as u64)],
+            );
         }
 
         // One fused forward for every trajectory the batch needs embedded.
@@ -437,17 +482,27 @@ fn run(
         // work on a write that cannot be applied.
         let mut trajs: Vec<Trajectory> = Vec::new();
         let mut skip_insert = vec![false; batch.len()];
-        for (i, req) in batch.iter().enumerate() {
-            match req {
+        // Trajectories request i contributed to the fused forward (> 0 ⇒
+        // this request's latency includes the shared embed).
+        let mut contributed = vec![0usize; batch.len()];
+        for (i, env) in batch.iter().enumerate() {
+            match &env.req {
                 Req::Insert { id, traj, .. } => {
                     if shards.is_degraded(shards.shard_of(*id)) {
                         skip_insert[i] = true;
                     } else {
                         trajs.push(traj.clone());
+                        contributed[i] = 1;
                     }
                 }
-                Req::Query { traj, .. } => trajs.push(traj.clone()),
-                Req::QueryBatch { trajs: ts, .. } => trajs.extend(ts.iter().cloned()),
+                Req::Query { traj, .. } => {
+                    trajs.push(traj.clone());
+                    contributed[i] = 1;
+                }
+                Req::QueryBatch { trajs: ts, .. } => {
+                    trajs.extend(ts.iter().cloned());
+                    contributed[i] = ts.len();
+                }
                 _ => {}
             }
         }
@@ -455,12 +510,48 @@ fn run(
             Vec::new()
         } else {
             metrics::gauge_set(SERVE_BATCH_SIZE, trajs.len() as f64);
-            embed(model.as_ref(), &trajs)
+            // The forward is shared; attribute its exemplar to the first
+            // traced requester, then give *every* contributing traced
+            // request a span covering the same interval — each request's
+            // tree shows the full embed cost it waited on.
+            let embed_ctx = batch
+                .iter()
+                .enumerate()
+                .find(|(i, env)| contributed[*i] > 0 && env.ctx.is_active())
+                .map(|(_, env)| env.ctx)
+                .unwrap_or_default();
+            let t0 = trace::now_ns();
+            let out = {
+                let _ambient = trace::attach(embed_ctx);
+                embed(model.as_ref(), &trajs)
+            };
+            let dur = trace::now_ns().saturating_sub(t0);
+            for (i, env) in batch.iter().enumerate() {
+                if contributed[i] > 0 {
+                    trace::record_span(
+                        env.ctx,
+                        "serve.embed",
+                        t0,
+                        dur,
+                        &[
+                            ("batch_id", batch_id),
+                            ("embed_batch", trajs.len() as u64),
+                            ("trajs", contributed[i] as u64),
+                        ],
+                    );
+                }
+            }
+            out
         };
 
         let mut cursor = 0usize;
         let mut shutdown = false;
-        for (i, req) in batch.into_iter().enumerate() {
+        for (i, env) in batch.into_iter().enumerate() {
+            let Envelope { ctx, req, .. } = env;
+            // Everything dispatched below (shard search spans, rerank,
+            // merge, stream steps, traced metric observations) lands under
+            // this request's trace via the thread-local ambient context.
+            let _ambient = trace::attach(ctx);
             match req {
                 Req::Insert { id, traj, reply } => {
                     if skip_insert[i] {
@@ -524,33 +615,41 @@ fn run(
                         let _ = reply.send(Err(ServeError::DegradedShard(shard)));
                         continue;
                     }
-                    let stream = match streams.entry(id) {
-                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                        std::collections::hash_map::Entry::Vacant(slot) => {
-                            let Some(mut s) = model.stream_begin() else {
-                                let _ = reply.send(Err(ServeError::NoStreamPath(model.name())));
-                                continue;
-                            };
-                            // Resume an id inserted whole (or warm-loaded):
-                            // replay its stored points through the stream,
-                            // once, O(len).
-                            if let Some(existing) = corpus.get(&id) {
-                                for &p in existing.points() {
-                                    model.embed_incremental(&mut s, p);
+                    let emb = {
+                        let _step = trace::span("stream.step");
+                        let stream = match streams.entry(id) {
+                            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                            std::collections::hash_map::Entry::Vacant(slot) => {
+                                let Some(mut s) = model.stream_begin() else {
+                                    let _ =
+                                        reply.send(Err(ServeError::NoStreamPath(model.name())));
+                                    continue;
+                                };
+                                // Resume an id inserted whole (or warm-loaded):
+                                // replay its stored points through the stream,
+                                // once, O(len).
+                                if let Some(existing) = corpus.get(&id) {
+                                    for &p in existing.points() {
+                                        model.embed_incremental(&mut s, p);
+                                    }
                                 }
+                                slot.insert(s)
                             }
-                            slot.insert(s)
-                        }
+                        };
+                        model.embed_incremental(stream, point)
                     };
-                    let emb = model.embed_incremental(stream, point);
                     let entry = corpus.entry(id).or_default();
                     entry.push(point);
                     let len = entry.len();
-                    let delta = match cache.get(&id) {
-                        Some(indexed) => l2(&emb, &indexed.vec),
-                        None => f64::INFINITY, // first point always indexes
+                    let delta = {
+                        let _delta = trace::span("stream.delta");
+                        match cache.get(&id) {
+                            Some(indexed) => l2(&emb, &indexed.vec),
+                            None => f64::INFINITY, // first point always indexes
+                        }
                     };
                     let res = if delta >= reembed_min_delta {
+                        let _reindex = trace::span("stream.reindex");
                         // Re-insert = tombstone the old vector + insert the
                         // new one; cache mirrors whatever the index holds.
                         match shards.insert(id, &emb) {
@@ -568,7 +667,11 @@ fn run(
                         Ok(AppendOutcome { len, reindexed: false, delta })
                     };
                     metrics::counter_add(STREAM_APPENDS_TOTAL, 1);
-                    metrics::observe_ns(APPEND_NS, t0.elapsed().as_nanos() as u64);
+                    metrics::observe_ns_traced(
+                        APPEND_NS,
+                        t0.elapsed().as_nanos() as u64,
+                        trace::current_trace(),
+                    );
                     let _ = reply.send(res);
                 }
                 Req::QueryWindow { id, last_k, k, reply } => {
@@ -578,8 +681,10 @@ fn run(
                         None => Err(ServeError::UnknownId(id)),
                         Some(traj) => {
                             let window = traj.last_window(last_k.max(1));
-                            let emb =
-                                embed(model.as_ref(), std::slice::from_ref(&window)).remove(0);
+                            let emb = {
+                                let _embed = trace::span("serve.embed");
+                                embed(model.as_ref(), std::slice::from_ref(&window)).remove(0)
+                            };
                             metrics::counter_add(SERVE_QUERIES_TOTAL, 1);
                             shards.query(&emb, k)
                         }
@@ -630,11 +735,17 @@ fn l2(a: &[f32], b: &[f32]) -> f64 {
         .sqrt()
 }
 
-/// Timed wrapper over the fused tape-free forward.
+/// Timed wrapper over the fused tape-free forward. The observation carries
+/// the ambient trace id, so the `query_embed_ns` exemplar points at
+/// whichever traced request paid for the slowest-bucket forward.
 fn embed(model: &dyn PairModel, trajs: &[Trajectory]) -> Vec<Vec<f32>> {
     let t0 = Instant::now();
     let out = encode_all(model, trajs, trajs.len());
-    metrics::observe_ns(tmn_eval::QUERY_EMBED_NS, t0.elapsed().as_nanos() as u64);
+    metrics::observe_ns_traced(
+        tmn_eval::QUERY_EMBED_NS,
+        t0.elapsed().as_nanos() as u64,
+        trace::current_trace(),
+    );
     out
 }
 
@@ -655,7 +766,10 @@ fn cached_embedding(
         None => {}
     }
     let traj = corpus.get(&id).ok_or(ServeError::UnknownId(id))?;
-    let emb = embed(model, std::slice::from_ref(traj)).remove(0);
+    let emb = {
+        let _embed = trace::span("serve.embed");
+        embed(model, std::slice::from_ref(traj)).remove(0)
+    };
     cache.insert(id, CacheEntry::new(emb.clone()));
     Ok(emb)
 }

@@ -25,9 +25,18 @@
 //! The cache stores a checksum next to each embedding; a corrupt entry is
 //! detected on read and silently recomputed from the corpus instead of
 //! being served. Request-path latencies land in the PR 5 histograms
-//! (`query_embed_ns` / `query_index_ns` / `query_rank_ns`), and the
-//! engine exports `serve_batch_size`, `shard_imbalance` and
+//! (`query_embed_ns` / `query_index_ns` / `query_rank_ns`, plus
+//! `serve_queue_wait_ns` for enqueue→drain delay), and the engine exports
+//! `serve_batch_size`, `serve_queue_depth`, `shard_imbalance` and
 //! `serve_degraded_shards` gauges through the Prometheus/JSON exporters.
+//!
+//! With `tmn_obs::trace` enabled, every request additionally records a span
+//! tree — queue wait, shared embed, per-shard knn, rerank, merge (and
+//! stream step / delta / re-index on the append path) — into the flight
+//! recorder, and each latency histogram's exemplar names the trace behind
+//! its most recent high-bucket observation. Tracing is off by default and
+//! bitwise-invariant on results either way
+//! (`crates/serve/tests/trace_invariance.rs`).
 //!
 //! [`embed_nograd`]: tmn_core::PairModel::embed_nograd
 
@@ -40,6 +49,13 @@ pub use shard::{ShardSet, ShardSetConfig, ShardSetStatus, ShardStatus};
 /// Gauge: trajectories embedded by the last admission batch (the fan-in the
 /// fused forward amortized over).
 pub const SERVE_BATCH_SIZE: &str = "serve_batch_size";
+/// Gauge: requests drained by the last admission window — how deep the
+/// queue had grown while the previous batch was being served.
+pub const SERVE_QUEUE_DEPTH: &str = "serve_queue_depth";
+/// Histogram: per-request time between enqueue and admission-window drain,
+/// in nanoseconds. This is the queueing delay that used to fold silently
+/// into client-observed latency.
+pub const SERVE_QUEUE_WAIT_NS: &str = "serve_queue_wait_ns";
 /// Gauge: max/mean shard occupancy (1.0 = perfectly balanced).
 pub const SHARD_IMBALANCE: &str = "shard_imbalance";
 /// Gauge: shards currently fenced off after a poisoned lock.

@@ -29,6 +29,7 @@ use std::time::Instant;
 use tmn_eval::embedding_distance;
 use tmn_index::{Hnsw, HnswConfig, ShardRouter};
 use tmn_obs::metrics;
+use tmn_obs::trace;
 
 /// Data-plane configuration.
 #[derive(Debug, Clone)]
@@ -90,13 +91,18 @@ impl ShardInner {
         }
     }
 
-    /// Shortlist + exact rerank inside one read critical section. Returns
-    /// exact-distance candidates (up to `shortlist` of them), unsorted.
-    fn query_candidates(&self, q: &[f32], shortlist: usize) -> Vec<(u64, f64)> {
-        self.hnsw
-            .knn_ef(q, shortlist, shortlist)
-            .into_iter()
-            .filter_map(|(int, _)| {
+    /// Graph walk only: the approximate shortlist as internal ids. Split
+    /// from [`rerank`](ShardInner::rerank) so the two stages are separately
+    /// attributable (each gets its own trace span under the scatter-gather).
+    fn shortlist_ints(&self, q: &[f32], shortlist: usize) -> Vec<usize> {
+        self.hnsw.knn_ef(q, shortlist, shortlist).into_iter().map(|(int, _)| int).collect()
+    }
+
+    /// Exact-f32 rerank of a shortlist. Returns exact-distance candidates,
+    /// unsorted.
+    fn rerank(&self, q: &[f32], ints: &[usize]) -> Vec<(u64, f64)> {
+        ints.iter()
+            .filter_map(|&int| {
                 let ext = self.ext_of_int[int];
                 // A tombstoned int never surfaces, so `ext` maps back to
                 // `int` unless the maps were corrupted — keep the check as
@@ -362,19 +368,45 @@ impl ShardSet {
         let mut epochs = Vec::with_capacity(self.shards.len());
         let mut index_ns = 0u64;
         let t_rank = Instant::now();
+        // Per-shard knn and rerank each get their own span under the
+        // scatter-gather; the serve.search span groups them and the final
+        // merge in the request's trace. `index_ns` (the query_index_ns
+        // histogram) keeps its historical meaning: knn + rerank together,
+        // i.e. everything spent inside shard read critical sections.
+        let search_span = trace::span("serve.search").attr("shards", self.shards.len() as u64);
         for s in 0..self.shards.len() {
             let Some(inner) = self.read_shard(s) else { continue };
             let start = inner.epoch;
             let t0 = Instant::now();
-            let mut shard_hits = inner.query_candidates(q, shortlist);
+            let ints = {
+                let _knn = trace::span("shard.knn").attr("shard", s as u64);
+                inner.shortlist_ints(q, shortlist)
+            };
+            let mut shard_hits = {
+                let _rerank =
+                    trace::span("shard.rerank").attr("shard", s as u64).attr(
+                        "shortlist",
+                        ints.len() as u64,
+                    );
+                inner.rerank(q, &ints)
+            };
             index_ns += t0.elapsed().as_nanos() as u64;
             candidates.append(&mut shard_hits);
             epochs.push(EpochObservation { shard: s, start, end: inner.epoch });
         }
-        let merged = merge_topk64(candidates, k);
+        let merged = {
+            let _merge = trace::span("serve.merge").attr("candidates", candidates.len() as u64);
+            merge_topk64(candidates, k)
+        };
+        drop(search_span);
         let total_ns = t_rank.elapsed().as_nanos() as u64;
-        metrics::observe_ns(tmn_eval::QUERY_INDEX_NS, index_ns);
-        metrics::observe_ns(tmn_eval::QUERY_RANK_NS, total_ns.saturating_sub(index_ns));
+        let trace_id = trace::current_trace();
+        metrics::observe_ns_traced(tmn_eval::QUERY_INDEX_NS, index_ns, trace_id);
+        metrics::observe_ns_traced(
+            tmn_eval::QUERY_RANK_NS,
+            total_ns.saturating_sub(index_ns),
+            trace_id,
+        );
         Ok((merged, epochs))
     }
 

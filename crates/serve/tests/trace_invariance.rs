@@ -1,0 +1,103 @@
+//! Tracing must be a pure observer: a serve engine run with request tracing
+//! enabled has to produce bitwise-identical query results, identical append
+//! outcomes, and identical status counters to the same workload with
+//! tracing disabled. Mirror of `crates/core/tests/metrics_invariance.rs`
+//! for the flight recorder added in the tracing PR — spans only ever read
+//! already-computed wall-clock scalars and ids, never tensor data, and this
+//! locks that in.
+//!
+//! Kept as a single test function: the trace enable flag is process-global,
+//! and this integration-test binary owns its process.
+
+use tmn_core::{ModelConfig, ModelKind};
+use tmn_obs::trace;
+use tmn_obs::TraceConfig;
+use tmn_serve::{ServeConfig, ServeEngine, ShardSetConfig};
+use tmn_traj::{Point, Trajectory};
+
+fn traj(seed: u64, len: usize) -> Trajectory {
+    let pts = (0..len)
+        .map(|i| {
+            let h = tmn_index::splitmix64(seed * 131 + i as u64);
+            Point { lon: (h % 1000) as f64 / 1000.0, lat: ((h >> 10) % 1000) as f64 / 1000.0 }
+        })
+        .collect();
+    Trajectory::new(pts)
+}
+
+const MCFG: ModelConfig = ModelConfig { dim: 16, seed: 7 };
+
+fn cfg() -> ServeConfig {
+    ServeConfig {
+        shard: ShardSetConfig { shards: 2, shortlist: 32, ..Default::default() },
+        max_batch: 8,
+        ..Default::default()
+    }
+}
+
+/// Ranked results with distances as raw f64 bits, so comparisons are
+/// bitwise rather than approximate.
+type RankedBits = Vec<Vec<(u64, u64)>>;
+
+/// Run the full mixed workload — inserts, deletes, ad-hoc + by-id queries,
+/// stream appends — and return every observable result.
+fn run_workload() -> (RankedBits, Vec<String>, (usize, usize, usize)) {
+    let engine = ServeEngine::start(ModelKind::TmnNm, &MCFG, cfg()).unwrap();
+    let h = engine.handle();
+    for i in 0..32u64 {
+        h.insert(i, traj(i, 8 + (i % 5) as usize)).unwrap();
+    }
+    h.delete(11).unwrap();
+
+    let mut results: RankedBits = Vec::new();
+    let mut outcomes: Vec<String> = Vec::new();
+    for q in [traj(3, 9), traj(77, 11), traj(200, 7)] {
+        let ranked = h.query(q, 5).unwrap();
+        results.push(ranked.into_iter().map(|(id, d)| (id, d.to_bits())).collect());
+    }
+    for id in [0u64, 17, 31] {
+        let ranked = h.query_id(id, 5).unwrap();
+        results.push(ranked.into_iter().map(|(id, d)| (id, d.to_bits())).collect());
+    }
+    for step in 0..6u64 {
+        let out = h.append_point(4, Point { lon: 0.1 + 0.07 * step as f64, lat: 0.3 }).unwrap();
+        outcomes.push(format!("{out:?}"));
+    }
+    let ranked = h.query(traj(4, 9), 8).unwrap();
+    results.push(ranked.into_iter().map(|(id, d)| (id, d.to_bits())).collect());
+
+    let st = h.status().unwrap();
+    let shape = (st.corpus, st.cache_entries, st.streams);
+    engine.shutdown();
+    (results, outcomes, shape)
+}
+
+#[test]
+fn tracing_on_and_off_serve_identically() {
+    trace::set_enabled(false);
+    trace::reset();
+    let (off_results, off_outcomes, off_shape) = run_workload();
+    assert_eq!(trace::stats().started, 0, "disabled tracer must record nothing");
+
+    trace::configure(TraceConfig { slow_threshold_ns: 0, sample_every: 1, ..Default::default() });
+    trace::set_enabled(true);
+    trace::reset();
+    let (on_results, on_outcomes, on_shape) = run_workload();
+    let stats = trace::stats();
+    trace::set_enabled(false);
+
+    assert!(stats.started > 0, "enabled tracer must have seen the requests");
+    assert!(stats.flight_len > 0, "capture-all config must have kept traces");
+    let traced_query = trace::recent()
+        .into_iter()
+        .find(|t| t.name == "serve.query")
+        .expect("a serve.query trace must be captured");
+    assert!(traced_query.is_well_formed());
+
+    assert_eq!(off_results, on_results, "tracing changed query results bitwise");
+    assert_eq!(off_outcomes, on_outcomes, "tracing changed append outcomes");
+    assert_eq!(off_shape, on_shape, "tracing changed engine status counters");
+
+    trace::configure(TraceConfig::default());
+    trace::reset();
+}

@@ -43,4 +43,7 @@ cargo run --release -p tmn-bench --bin store_smoke
 echo "== stream smoke (point-by-point replay, bitwise parity, window query, reindex filter) =="
 cargo run --release -p tmn-bench --bin stream_smoke
 
+echo "== trace smoke (span trees, chrome export, exemplar linkage, queue metrics) =="
+cargo run --release -p tmn-bench --bin trace_smoke
+
 echo "CI OK"
